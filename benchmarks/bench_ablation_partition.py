@@ -1,0 +1,62 @@
+"""Ablation A3 — mapper partitioning strategy and MRG quality.
+
+Algorithm 1 partitions "arbitrarily"; the tightness example in the
+paper's future work relies on adversarial assignment.  This bench
+compares block / random / hash partitions on a workload where block
+partitioning is *correlated with the cluster structure* (points sorted by
+cluster) — the realistic worst-ish case for an arbitrary partition.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_artifact
+from repro.core.bounds import greedy_lower_bound
+from repro.core.mrg import mrg
+from repro.data.synthetic import gau
+from repro.metric.euclidean import EuclideanSpace
+from repro.utils.tables import format_table
+
+
+def _sorted_by_cluster_space(n=30_000, k_prime=10):
+    pts, labels = gau(n, k_prime=k_prime, seed=3, return_labels=True)
+    order = np.argsort(labels, kind="stable")
+    return EuclideanSpace(pts[order])
+
+
+def test_partitioner_quality(artifact_dir):
+    space = _sorted_by_cluster_space()
+    k = 10
+    lb = greedy_lower_bound(space, k)
+
+    rows = []
+    radii = {}
+    for strategy in ("block", "random", "hash"):
+        res = mrg(space, k, m=20, partitioner=strategy, seed=0)
+        radii[strategy] = res.radius
+        rows.append([strategy, res.radius, res.radius / lb,
+                     res.stats.parallel_time])
+    text = format_table(
+        ["partitioner", "radius", "radius / OPT-lb", "runtime (s)"],
+        rows,
+        title="A3: MRG quality by partitioning strategy "
+              "(GAU sorted by cluster: block partitions align with clusters)",
+    )
+    write_artifact(artifact_dir, "ablation_partition", text)
+
+    # The 4-approximation holds regardless of strategy.
+    for radius in radii.values():
+        assert radius <= 4.0 * 2.0 * lb + 1e-9
+
+    # All strategies must stay within the guarantee of each other — the
+    # paper's claim is robustness of MRG to the arbitrary partition.
+    lo, hi = min(radii.values()), max(radii.values())
+    assert hi <= 4.0 * lo + 1e-9
+
+
+def test_random_partition_representative(benchmark):
+    space = _sorted_by_cluster_space()
+    benchmark.pedantic(
+        lambda: mrg(space, 10, m=20, partitioner="random", seed=0, evaluate=False),
+        rounds=2,
+        iterations=1,
+    )

@@ -1,0 +1,70 @@
+"""Ablation A2 — EIM termination fixes on/off (paper Section 4.1).
+
+The original removal rule (strict <, sampled points kept in R) can loop
+forever on inputs with repeated distances.  This bench demonstrates the
+stall on a pathological input (bounded by the iteration cap, so it
+terminates with an error instead of hanging) and shows the fixed rule
+converging on the same input.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.core.eim import EIMParams, eim
+from repro.errors import ConvergenceError
+from repro.metric.euclidean import EuclideanSpace
+from repro.utils.tables import format_table
+
+
+def _pathological_space(n=20_000):
+    """Many coincident points: distances to the sample are frequently
+    exactly equal, the regime where the strict-< rule removes nothing."""
+    rng = np.random.default_rng(0)
+    # 32 distinct locations, heavily repeated.
+    locations = rng.uniform(0, 100, size=(32, 2))
+    return EuclideanSpace(locations[rng.integers(0, 32, size=n)])
+
+
+def test_legacy_rule_stalls_fixed_rule_converges(artifact_dir):
+    space = _pathological_space()
+    k = 4
+
+    fixed = eim(space, k, m=10, seed=0)
+    assert fixed.extra["iterations"] >= 1
+
+    legacy_params = EIMParams(legacy_removal=True, max_iterations=12)
+    stalled = False
+    legacy_iters = None
+    try:
+        res = eim(space, k, m=10, params=legacy_params, seed=0)
+        legacy_iters = res.extra["iterations"]
+    except ConvergenceError:
+        stalled = True
+
+    rows = [
+        ["fixed (<=, drop sampled)", fixed.extra["iterations"], "converged",
+         fixed.radius],
+        ["legacy (<, keep sampled)",
+         legacy_iters if legacy_iters is not None else ">= cap",
+         "stalled" if stalled else "converged", "-" if stalled else "ok"],
+    ]
+    text = format_table(
+        ["removal rule", "iterations", "outcome", "radius"],
+        rows,
+        title="A2: EIM termination fix on a duplicate-heavy input "
+              f"(n={space.n}, 32 distinct locations, k={k})",
+    )
+    write_artifact(artifact_dir, "ablation_termination", text)
+
+    assert stalled, (
+        "the legacy rule should stall on coincident points "
+        "(this is exactly the pathology Section 4.1 describes)"
+    )
+
+
+def test_fixed_rule_representative(benchmark):
+    space = _pathological_space()
+    benchmark.pedantic(
+        lambda: eim(space, 4, m=10, seed=0, evaluate=False), rounds=1, iterations=1
+    )

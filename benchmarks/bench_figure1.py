@@ -1,0 +1,41 @@
+"""Figure 1 — solution value over k on KDD CUP 1999 (log-scale y).
+
+The one real data set where EIM performs poorly (Section 8.1): heavy-
+tailed byte counts mean the objective is driven by a handful of extreme
+rows, and a uniform sample is likely to miss them.  We regenerate the
+three curves, render the log-scale ASCII chart, and assert the two shape
+claims: values span decades and decrease in k.
+"""
+
+from benchmarks.conftest import run_cached, write_artifact
+from repro.analysis.figures import ascii_chart, series_over_k
+from repro.analysis.paper import PAPER_K_GRID
+
+
+def test_figure1_regeneration(experiment_cache, scale, artifact_dir):
+    spec, records = run_cached(experiment_cache, "figure1", scale)
+    series = series_over_k(records, "radius", ("MRG", "EIM", "GON"), PAPER_K_GRID)
+    chart = ascii_chart(
+        series,
+        title=f"figure1: solution value over k — KDD-CUP-like "
+              f"(n={spec.n}, scale={scale}), log y",
+        xlabel="k",
+    )
+    write_artifact(artifact_dir, "figure1", chart)
+
+    for s in series:
+        # f1.decreasing: values fall by orders of magnitude across the grid.
+        assert s.y[0] > 10 * s.y[-1], f"{s.label} curve too flat"
+        # log-scale claim: the y range spans several decades overall.
+    values = [y for s in series for y in s.y]
+    assert max(values) / min(values) > 1e2
+
+
+def test_figure1_gon_representative(benchmark, scale):
+    from repro.analysis.configs import experiment_config
+    from repro.core.gonzalez import gonzalez
+    from repro.data.registry import make_dataset
+
+    spec = experiment_config("figure1", scale=scale)
+    space = make_dataset(spec.dataset, spec.n, seed=0).space()
+    benchmark.pedantic(lambda: gonzalez(space, 25, seed=0), rounds=2, iterations=1)

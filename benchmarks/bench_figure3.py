@@ -1,0 +1,49 @@
+"""Figure 3 — runtime over k for GAU with k'=50: (a) large n; (b) n=50,000.
+
+Panel (b) is the fallback exhibit: "When k becomes too large, relative to
+n, EIM no longer performs sampling and defaults to the sequential
+algorithm."  We assert that the fallback actually happens at the large-k
+end of panel (b) and that wherever EIM falls back its runtime tracks
+GON's.
+"""
+
+from benchmarks.conftest import run_cached, write_artifact
+from repro.analysis.experiments import aggregate
+from repro.analysis.figures import ascii_chart, series_over_k
+from repro.analysis.paper import PAPER_K_GRID
+from repro.analysis.report import fallback_ks
+
+
+def _panel(exp, experiment_cache, scale, artifact_dir):
+    spec, records = run_cached(experiment_cache, exp, scale)
+    series = series_over_k(
+        records, "parallel_time", ("MRG", "EIM", "GON"), PAPER_K_GRID
+    )
+    fell_back = fallback_ks(records)
+    chart = ascii_chart(
+        series,
+        title=f"{exp}: runtime (s) over k — GAU k'={spec.dataset_params['k_prime']} "
+              f"(n={spec.n}, scale={scale}), log y",
+        xlabel="k",
+    )
+    note = f"EIM fell back to sequential GON at k in {fell_back}" if fell_back else \
+        "EIM sampled at every k"
+    write_artifact(artifact_dir, exp, chart + "\n\n" + note)
+    return records, fell_back
+
+
+def test_figure3a_regeneration(experiment_cache, scale, artifact_dir):
+    _panel("figure3a", experiment_cache, scale, artifact_dir)
+
+
+def test_figure3b_fallback_regime(experiment_cache, scale, artifact_dir):
+    records, fell_back = _panel("figure3b", experiment_cache, scale, artifact_dir)
+    # f3.fallback: at n = 50,000 the largest k values must trip the
+    # while-condition (threshold > n) and degenerate to GON.
+    assert 100 in fell_back, f"expected fallback at k=100, got {fell_back}"
+
+    # Where EIM == GON (fallback), runtimes are within a small factor.
+    times = aggregate(records, value="parallel_time", by=("algorithm", "k"))
+    for k in fell_back:
+        ratio = times[("EIM", k)] / times[("GON", k)]
+        assert 1 / 3 < ratio < 3, f"fallback EIM should track GON at k={k}"

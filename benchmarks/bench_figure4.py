@@ -1,0 +1,62 @@
+"""Figure 4 — runtime over n at fixed k: (a) k=10, (b) k=100.
+
+Two claims: runtimes grow roughly linearly in n for fixed k (with MRG's
+k^2 m term flattening its small-n end when k=100), and for sufficiently
+small n relative to k, EIM behaves identically to GON.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.analysis.configs import experiment_config, figure4_n_grid
+from repro.analysis.experiments import aggregate
+from repro.analysis.figures import ascii_chart, series_over_n
+from repro.analysis.report import fallback_ks
+
+
+@pytest.fixture(scope="module")
+def figure4_runs(scale):
+    out = {}
+    for exp in ("figure4a", "figure4b"):
+        spec = experiment_config(exp, scale=scale)
+        out[exp] = (spec, *series_over_n(spec, figure4_n_grid(scale)))
+    return out
+
+
+def _write(exp, figure4_runs, scale, artifact_dir):
+    spec, series, records = figure4_runs[exp]
+    chart = ascii_chart(
+        series,
+        title=f"{exp}: runtime (s) over n at k={spec.ks[0]} (scale={scale}), log y",
+        xlabel="n",
+    )
+    fell_back = fallback_ks(records)
+    note = (
+        f"EIM fell back to GON at k={spec.ks[0]} for some n"
+        if fell_back
+        else "EIM sampled at every n"
+    )
+    write_artifact(artifact_dir, exp, chart + "\n\n" + note)
+    return spec, series, records
+
+
+def test_figure4a_linear_growth(figure4_runs, scale, artifact_dir):
+    spec, series, records = _write("figure4a", figure4_runs, scale, artifact_dir)
+    # f4.linear_n: every algorithm gets slower as n grows 10x (end to end).
+    for s in series:
+        assert s.y[-1] > s.y[0], f"{s.label} did not grow with n"
+
+
+def test_figure4b_small_n_regime(figure4_runs, scale, artifact_dir):
+    spec, series, records = _write("figure4b", figure4_runs, scale, artifact_dir)
+    # f4.eim_gon_small_n: at the smallest n with k=100, EIM == GON.
+    n_min = min(r.n for r in records)
+    small = [r for r in records if r.n == n_min]
+    eim_fallbacks = [
+        r.extra.get("fallback_to_gon") for r in small if r.algorithm == "EIM"
+    ]
+    assert all(eim_fallbacks), "EIM must fall back to GON at the smallest n, k=100"
+
+    times = aggregate(small, value="parallel_time", by=("algorithm",))
+    ratio = times[("EIM",)] / times[("GON",)]
+    assert 1 / 3 < ratio < 3, "fallback EIM runtime should track GON"

@@ -1,0 +1,58 @@
+"""Ablation A5 — distance-kernel micro-benchmarks (the HPC guide's
+"measure, don't guess").
+
+Times the three hot kernels at experiment-realistic shapes and sweeps the
+chunk-size budget to document why DEFAULT_BLOCK_BYTES is a sane default
+(cache effects: too-small blocks pay call overhead, too-large blocks
+spill cache — the middle is flat, which is what makes the default safe).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.metric import kernels
+from repro.utils.timing import timed
+from repro.utils.tables import format_table
+
+RNG = np.random.default_rng(0)
+X = RNG.normal(size=(100_000, 3))
+Y = RNG.normal(size=(2_000, 3))
+CURRENT = np.full(len(X), np.inf)
+
+
+def test_dists_to_point(benchmark):
+    """GON's inner loop: one fused pass over all points."""
+    benchmark(kernels.dists_to_point, X, Y[0])
+
+
+def test_update_min_dists_default_blocks(benchmark):
+    """EIM Round 3's inner loop at a realistic (100k x 2k) shape."""
+    benchmark(lambda: kernels.update_min_dists(CURRENT.copy(), X, Y))
+
+
+def test_pairwise_small_block(benchmark):
+    """EIM Select's H-by-S distances (small dense block)."""
+    benchmark(kernels.pairwise_dists, Y[:200], Y)
+
+
+def test_chunk_size_sweep(artifact_dir):
+    rows = []
+    times = {}
+    for block_bytes in (2**16, 2**20, 2**23, 2**25, 2**27):
+        current = np.full(len(X), np.inf)
+        _, seconds = timed(
+            kernels.update_min_dists, current, X, Y, block_bytes=block_bytes
+        )
+        times[block_bytes] = seconds
+        rows.append([f"{block_bytes // 1024} KiB", f"{seconds * 1e3:.1f} ms"])
+    text = format_table(
+        ["block budget", "update_min_dists(100k x 2k)"],
+        rows,
+        title="A5: chunk-size sweep for the running-min kernel",
+    )
+    write_artifact(artifact_dir, "kernels_chunk_sweep", text)
+
+    # The default budget (32 MiB = 2^25) must not be badly off the best.
+    best = min(times.values())
+    assert times[2**25] <= 5.0 * best

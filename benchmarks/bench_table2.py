@@ -1,0 +1,15 @@
+"""Table 2 — solution value over k, GAU (paper: n = 10^6, k' = 25).
+
+Workload: balanced Gaussian clusters; EIM is expected to edge out MRG/GON
+around k = k' (sampling avoids perimeter points), and MRG to be fastest.
+"""
+
+from benchmarks._solution_table import representative_run, solution_table_bench
+
+
+def test_table2_regeneration(experiment_cache, scale, artifact_dir):
+    solution_table_bench("table2", experiment_cache, scale, artifact_dir)
+
+
+def test_table2_mrg_representative(benchmark, scale):
+    benchmark.pedantic(representative_run("table2", scale), rounds=2, iterations=1)

@@ -1,0 +1,15 @@
+"""Table 3 — solution value over k, UNIF (paper: n = 10^5).
+
+Workload: no inherent cluster structure (uniform square); all three
+algorithms should land within a few percent of each other at every k.
+"""
+
+from benchmarks._solution_table import representative_run, solution_table_bench
+
+
+def test_table3_regeneration(experiment_cache, scale, artifact_dir):
+    solution_table_bench("table3", experiment_cache, scale, artifact_dir)
+
+
+def test_table3_mrg_representative(benchmark, scale):
+    benchmark.pedantic(representative_run("table3", scale), rounds=2, iterations=1)

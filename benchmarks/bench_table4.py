@@ -1,0 +1,16 @@
+"""Table 4 — solution value over k, UNB (paper: n = 2*10^5, k' = 25).
+
+Workload: half the points in one cluster.  The paper highlights that EIM
+is notably better exactly at k = k' (its sampling under-represents the
+perimeter of the giant cluster); the winner-agreement check covers this.
+"""
+
+from benchmarks._solution_table import representative_run, solution_table_bench
+
+
+def test_table4_regeneration(experiment_cache, scale, artifact_dir):
+    solution_table_bench("table4", experiment_cache, scale, artifact_dir)
+
+
+def test_table4_mrg_representative(benchmark, scale):
+    benchmark.pedantic(representative_run("table4", scale), rounds=2, iterations=1)

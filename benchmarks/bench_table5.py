@@ -1,0 +1,17 @@
+"""Table 5 — solution value over k, POKER HAND (n = 25,010, 10-D integers).
+
+The one experiment we run at the paper's exact size at every scale (the
+UCI training set is small).  Integer card encodings make ties common, so
+per-k winners are noisier than on the synthetic families — the shape check
+allows near-ties, as the paper's own margins here are ~2%.
+"""
+
+from benchmarks._solution_table import representative_run, solution_table_bench
+
+
+def test_table5_regeneration(experiment_cache, scale, artifact_dir):
+    solution_table_bench("table5", experiment_cache, scale, artifact_dir)
+
+
+def test_table5_mrg_representative(benchmark, scale):
+    benchmark.pedantic(representative_run("table5", scale), rounds=2, iterations=1)

@@ -1,0 +1,47 @@
+"""Table 7 — EIM runtime over phi, GAU (paper: n = 2*10^5, k' = 25).
+
+The runtime side of the phi trade-off: phi below the threshold removes
+more of R per iteration, so runs finish in fewer iterations.  The paper's
+rows show phi=1 up to ~5x faster than phi=8; we assert the *direction*
+(phi=1 at most as slow as phi=8 for most k).
+"""
+
+from benchmarks.conftest import run_cached, write_artifact
+from repro.analysis.paper import TABLE7
+from repro.analysis.report import check_phi_runtime_direction, render_checks
+from repro.analysis.tables import phi_table, side_by_side
+from repro.utils.tables import format_table
+
+
+def test_table7_regeneration(experiment_cache, scale, artifact_dir):
+    spec, records = run_cached(experiment_cache, "table6", scale)  # same grid
+    headers, rows = phi_table(records, "parallel_time")
+    cmp_headers, cmp_rows = side_by_side(rows, TABLE7, label_measured="meas")
+    check = check_phi_runtime_direction(records)
+    text = "\n\n".join(
+        [
+            format_table(headers, rows,
+                         title=f"table7: EIM runtime (s) over phi — GAU "
+                               f"(measured at n={spec.n}, scale={scale})"),
+            format_table(cmp_headers, cmp_rows,
+                         title="table7: measured vs paper "
+                               "(paper numbers are the authors' C code)"),
+            render_checks([check]),
+        ]
+    )
+    write_artifact(artifact_dir, "table7", text)
+    assert check.passed, check.detail
+
+
+def test_table7_eim_phi8_representative(benchmark, scale):
+    from repro.analysis.configs import experiment_config
+    from repro.core.eim import eim
+    from repro.data.registry import make_dataset
+
+    spec = experiment_config("table7", scale=scale)
+    space = make_dataset(spec.dataset, spec.n, seed=0, **spec.dataset_params).space()
+    benchmark.pedantic(
+        lambda: eim(space, 25, m=50, seed=0, phi=8.0, evaluate=False),
+        rounds=1,
+        iterations=1,
+    )

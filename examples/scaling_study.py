@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Scaling study: when does parallel k-center pay off?
+
+Run::
+
+    python examples/scaling_study.py
+
+Sweeps n with the paper's three algorithms on GAU data and prints the
+measured runtimes next to the Table 1 cost-model predictions, including
+
+* the MRG-over-GON speedup trend (should approach ~m for large n);
+* EIM's predicted slowdown factor n^eps (1-n^-eps)^-2 log(n);
+* the machine-capacity arithmetic of Eq. (1) for the chosen cluster.
+"""
+
+from __future__ import annotations
+
+from repro import EuclideanSpace, eim, gau, gonzalez, mrg
+from repro.core.theory import eim_expected_slowdown, gon_cost, mrg_cost
+from repro.mapreduce.model import default_capacity, mrg_rounds_needed
+from repro.utils.tables import format_table
+
+M = 50
+K = 10
+
+
+def main() -> None:
+    print(f"scaling study: k={K}, m={M} simulated machines\n")
+
+    rows = []
+    for n in (10_000, 30_000, 100_000):
+        space = EuclideanSpace(gau(n, k_prime=10, seed=5))
+        t_gon = gonzalez(space, K, seed=0).wall_time
+        r_mrg = mrg(space, K, m=M, seed=0, evaluate=False)
+        r_eim = eim(space, K, m=M, seed=0, evaluate=False)
+        t_mrg = r_mrg.stats.parallel_time
+        t_eim = r_eim.stats.parallel_time
+        rows.append(
+            [
+                n,
+                t_gon,
+                t_mrg,
+                t_eim,
+                t_gon / t_mrg,
+                t_eim / t_mrg,
+                eim_expected_slowdown(n),
+            ]
+        )
+    print(
+        format_table(
+            ["n", "GON (s)", "MRG (s)", "EIM (s)", "GON/MRG", "EIM/MRG",
+             "predicted EIM/MRG"],
+            rows,
+            title="measured runtimes vs the Section-5 predictions",
+        )
+    )
+
+    # Cost-model sanity: the modelled op-count ratio at the largest n.
+    n = rows[-1][0]
+    model_ratio = gon_cost(n, K) / mrg_cost(n, K, M)
+    print(f"\ncost-model GON/MRG op ratio at n={n}: {model_ratio:.1f} "
+          f"(upper-bounded by m={M}; measured {rows[-1][4]:.1f})")
+
+    # Capacity arithmetic for this cluster (Eq. (1)).
+    c = default_capacity(n, K, M)
+    print(f"smallest two-round capacity for (n={n}, k={K}, m={M}): c={c} "
+          f"-> {mrg_rounds_needed(n, K, M, c)} MapReduce rounds")
+    tight = max(n // M, 2 * K + 1)
+    print(f"with a tight capacity c={tight}: "
+          f"{mrg_rounds_needed(n, K, M, max(tight, -(-n // M)))} rounds "
+          "(extra rounds add +2 to the approximation factor each)")
+
+
+if __name__ == "__main__":
+    main()

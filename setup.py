@@ -1,0 +1,11 @@
+"""Setup shim.
+
+Metadata lives in pyproject.toml.  This file exists so the package can be
+installed in fully offline environments (no `wheel` distribution available
+for PEP-517 editable builds) via ``python setup.py develop`` — see
+README.md's install section.
+"""
+
+from setuptools import setup
+
+setup()

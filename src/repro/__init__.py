@@ -1,0 +1,96 @@
+"""repro — parallel k-center clustering, reproducing McClintock & Wirth (ICPP 2016).
+
+A production-quality implementation of the paper *Efficient Parallel
+Algorithms for k-Center Clustering*: Gonzalez's sequential greedy
+2-approximation (**GON**), its multi-round MapReduce parallelisation
+(**MRG**, 4-approximation in two rounds), and the generalised
+Ene-Im-Moseley iterative-sampling scheme (**EIM**, probabilistic
+10-approximation with the paper's pivot-rank parameter ``phi``) — all on a
+simulated-MapReduce substrate that reproduces the paper's timing
+methodology.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import EuclideanSpace, gonzalez, mrg, eim
+>>> points = np.random.default_rng(0).normal(size=(10_000, 3))
+>>> space = EuclideanSpace(points)
+>>> result = mrg(space, k=10, m=50, seed=0)
+>>> result.radius            # the k-center objective value  # doctest: +SKIP
+>>> result.stats.parallel_time  # simulated parallel runtime  # doctest: +SKIP
+
+See README.md for the architecture overview, DESIGN.md for the system
+inventory and per-experiment index, and EXPERIMENTS.md for paper-vs-measured
+results.
+"""
+
+from repro.core import (
+    EIMParams,
+    KCenterResult,
+    assign,
+    covering_radius,
+    eim,
+    exact_kcenter,
+    gonzalez,
+    gonzalez_trace,
+    greedy_lower_bound,
+    hochbaum_shmoys,
+    mr_hochbaum_shmoys,
+    mrg,
+    packing_lower_bound,
+)
+from repro.data import Dataset, gau, kddcup99, make_dataset, poker_hand, unb, unif
+from repro.errors import (
+    CapacityError,
+    ConvergenceError,
+    DatasetError,
+    ExperimentError,
+    InvalidParameterError,
+    MetricError,
+    ReproError,
+)
+from repro.mapreduce import SimulatedCluster
+from repro.metric import EuclideanSpace, MetricSpace, MinkowskiSpace, PrecomputedSpace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # algorithms
+    "gonzalez",
+    "gonzalez_trace",
+    "mrg",
+    "eim",
+    "EIMParams",
+    "hochbaum_shmoys",
+    "mr_hochbaum_shmoys",
+    "exact_kcenter",
+    "assign",
+    "covering_radius",
+    "greedy_lower_bound",
+    "packing_lower_bound",
+    "KCenterResult",
+    # spaces
+    "MetricSpace",
+    "EuclideanSpace",
+    "MinkowskiSpace",
+    "PrecomputedSpace",
+    # substrate
+    "SimulatedCluster",
+    # data
+    "Dataset",
+    "make_dataset",
+    "unif",
+    "gau",
+    "unb",
+    "poker_hand",
+    "kddcup99",
+    # errors
+    "ReproError",
+    "InvalidParameterError",
+    "CapacityError",
+    "MetricError",
+    "DatasetError",
+    "ConvergenceError",
+    "ExperimentError",
+]

@@ -1,0 +1,36 @@
+"""Experiment harness (system S8): run the paper's evaluation protocol.
+
+* :mod:`~repro.analysis.experiments` — algorithm/experiment specs and the
+  grid runner implementing the paper's repeat-and-average protocol
+  (synthetic: 3 graphs x 2 runs; real: 4 runs);
+* :mod:`~repro.analysis.configs` — one config per paper table/figure, with
+  both the paper-scale and the default scaled-down sizes;
+* :mod:`~repro.analysis.tables` / :mod:`~repro.analysis.figures` — rebuild
+  each table's rows and each figure's series from run records;
+* :mod:`~repro.analysis.paper` — the published numbers, embedded for
+  side-by-side comparison;
+* :mod:`~repro.analysis.report` — paper-vs-measured comparison and the
+  qualitative shape checks (who wins, crossovers, speedup factors).
+"""
+
+from repro.analysis.experiments import (
+    AlgorithmSpec,
+    ExperimentSpec,
+    RunRecord,
+    aggregate,
+    eim_spec,
+    gon_spec,
+    mrg_spec,
+    run_experiment,
+)
+
+__all__ = [
+    "AlgorithmSpec",
+    "ExperimentSpec",
+    "RunRecord",
+    "run_experiment",
+    "aggregate",
+    "gon_spec",
+    "mrg_spec",
+    "eim_spec",
+]

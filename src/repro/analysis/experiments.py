@@ -1,0 +1,232 @@
+"""Experiment specification and grid runner.
+
+The paper's protocol (Section 7.3): "We generate three graphs of each size
+and type, and run the algorithms twice over each data set, taking the
+average.  This gives a total of six results for each type of data set ...
+We run four tests over each of the real data sets, and take the average."
+
+:func:`run_experiment` executes exactly that grid — datasets x runs x
+algorithms x k — with a deterministic seed tree, producing flat
+:class:`RunRecord` rows; :func:`aggregate` averages them per
+(algorithm, k) the way the paper's tables do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.eim import EIMParams, eim
+from repro.core.gonzalez import gonzalez
+from repro.core.mrg import mrg
+from repro.core.result import KCenterResult
+from repro.data.registry import make_dataset
+from repro.errors import ExperimentError
+from repro.metric.euclidean import EuclideanSpace
+from repro.utils.rng import SeedStream
+
+__all__ = [
+    "AlgorithmSpec",
+    "ExperimentSpec",
+    "RunRecord",
+    "run_experiment",
+    "aggregate",
+    "gon_spec",
+    "mrg_spec",
+    "eim_spec",
+]
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """A named algorithm configuration runnable on any space.
+
+    ``run(space, k, seed)`` must return a :class:`KCenterResult`.
+    """
+
+    name: str
+    run: Callable[[EuclideanSpace, int, Any], KCenterResult]
+
+
+def gon_spec(name: str = "GON") -> AlgorithmSpec:
+    """The sequential baseline."""
+    return AlgorithmSpec(name, lambda space, k, seed: gonzalez(space, k, seed=seed))
+
+
+def mrg_spec(m: int = 50, partitioner="block", name: str = "MRG", **kwargs) -> AlgorithmSpec:
+    """MRG with the paper's defaults (m=50, arbitrary partition)."""
+    return AlgorithmSpec(
+        name,
+        lambda space, k, seed: mrg(
+            space, k, m=m, partitioner=partitioner, seed=seed, **kwargs
+        ),
+    )
+
+
+def eim_spec(
+    m: int = 50,
+    eps: float = 0.1,
+    phi: float = 8.0,
+    name: str | None = None,
+    **kwargs,
+) -> AlgorithmSpec:
+    """EIM with the paper's defaults (m=50, eps=0.1, phi=8)."""
+    params = EIMParams(eps=eps, phi=phi)
+    label = name if name is not None else ("EIM" if phi == 8.0 else f"EIM(phi={phi:g})")
+    return AlgorithmSpec(
+        label,
+        lambda space, k, seed: eim(space, k, m=m, params=params, seed=seed, **kwargs),
+    )
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment grid: a workload, k values, and algorithm family.
+
+    Attributes
+    ----------
+    name:
+        Experiment id ("table2", "figure1", ...).
+    dataset:
+        Registry name ("gau", "unif", ...).
+    n:
+        Points per generated instance.
+    dataset_params:
+        Extra generator parameters (``k_prime`` etc.).
+    ks:
+        The k grid (the paper uses {2, 5, 10, 25, 50, 100}).
+    algorithms:
+        Algorithm specs to run at every grid point.
+    n_instances:
+        Independently generated data sets (3 for synthetic families).
+    n_runs:
+        Algorithm repetitions per instance (2 for synthetic; real data is
+        modelled as 1 instance x 4 runs).
+    master_seed:
+        Root of the deterministic seed tree.
+    """
+
+    name: str
+    dataset: str
+    n: int
+    ks: Sequence[int]
+    algorithms: Sequence[AlgorithmSpec]
+    dataset_params: dict[str, Any] = field(default_factory=dict)
+    n_instances: int = 3
+    n_runs: int = 2
+    master_seed: int = 2016
+
+    def scaled(self, n: int) -> "ExperimentSpec":
+        """Same experiment at a different size (paper-scale vs default)."""
+        return replace(self, n=n)
+
+
+@dataclass
+class RunRecord:
+    """One algorithm execution at one grid point (flat, aggregation-ready)."""
+
+    experiment: str
+    dataset: str
+    n: int
+    instance: int
+    run: int
+    algorithm: str
+    k: int
+    radius: float
+    parallel_time: float
+    wall_time: float
+    cpu_time: float
+    rounds: int
+    dist_evals: int
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_result(
+        cls,
+        spec: ExperimentSpec,
+        instance: int,
+        run: int,
+        algorithm: str,
+        result: KCenterResult,
+    ) -> "RunRecord":
+        stats = result.stats
+        return cls(
+            experiment=spec.name,
+            dataset=spec.dataset,
+            n=spec.n,
+            instance=instance,
+            run=run,
+            algorithm=algorithm,
+            k=result.k,
+            radius=result.radius,
+            parallel_time=result.parallel_time,
+            wall_time=result.wall_time,
+            cpu_time=stats.cpu_time if stats else result.wall_time,
+            rounds=result.n_rounds,
+            dist_evals=stats.dist_evals if stats else 0,
+            extra={
+                key: result.extra[key]
+                for key in ("iterations", "fallback_to_gon", "total_rounds")
+                if key in result.extra
+            },
+        )
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    progress: Callable[[str], None] | None = None,
+) -> list[RunRecord]:
+    """Execute the full grid of ``spec``; return flat run records.
+
+    The seed tree guarantees: instance ``i`` of an experiment is the same
+    point set no matter which algorithms run on it, and run ``j`` of an
+    algorithm uses the same seed across k values (so the k-sweep varies
+    only k, like the paper's sweeps).
+    """
+    if not spec.ks:
+        raise ExperimentError(f"experiment {spec.name!r} has an empty k grid")
+    if not spec.algorithms:
+        raise ExperimentError(f"experiment {spec.name!r} has no algorithms")
+    names = [a.name for a in spec.algorithms]
+    if len(set(names)) != len(names):
+        raise ExperimentError(f"duplicate algorithm names in {spec.name!r}: {names}")
+
+    records: list[RunRecord] = []
+    stream = SeedStream(spec.master_seed)
+    for instance in range(spec.n_instances):
+        data_seed = stream.seeds(1)[0]
+        dataset = make_dataset(
+            spec.dataset, spec.n, seed=data_seed, **spec.dataset_params
+        )
+        space = dataset.space()
+        for run in range(spec.n_runs):
+            for algo in spec.algorithms:
+                algo_seed = stream.seeds(1)[0]
+                for k in spec.ks:
+                    if progress is not None:
+                        progress(
+                            f"{spec.name}: instance {instance + 1}/{spec.n_instances} "
+                            f"run {run + 1}/{spec.n_runs} {algo.name} k={k}"
+                        )
+                    result = algo.run(space, int(k), algo_seed)
+                    records.append(
+                        RunRecord.from_result(spec, instance, run, algo.name, result)
+                    )
+    return records
+
+
+def aggregate(
+    records: Iterable[RunRecord],
+    value: str = "radius",
+    by: Sequence[str] = ("algorithm", "k"),
+) -> dict[tuple, float]:
+    """Mean of ``value`` grouped by the ``by`` fields (paper protocol)."""
+    sums: dict[tuple, float] = {}
+    counts: dict[tuple, int] = {}
+    for rec in records:
+        key = tuple(getattr(rec, field_name) for field_name in by)
+        sums[key] = sums.get(key, 0.0) + float(getattr(rec, value))
+        counts[key] = counts.get(key, 0) + 1
+    return {key: sums[key] / counts[key] for key in sums}

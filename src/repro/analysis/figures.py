@@ -1,0 +1,161 @@
+"""Rebuild the paper's figures as data series (plus ASCII rendering).
+
+A *figure* here is a set of named series over a shared x grid.  The
+builders return :class:`FigureSeries` objects; :func:`ascii_chart` renders
+them on a log-scaled y axis in plain text, which is how the benchmark
+harness "draws" Figures 1-4 in the console.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.analysis.experiments import (
+    ExperimentSpec,
+    RunRecord,
+    aggregate,
+    run_experiment,
+)
+from repro.errors import ExperimentError
+
+__all__ = ["FigureSeries", "series_over_k", "series_over_n", "ascii_chart"]
+
+
+@dataclass
+class FigureSeries:
+    """One labelled curve: y values over the shared x grid."""
+
+    label: str
+    x: list[float]
+    y: list[float]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ExperimentError(
+                f"series {self.label!r}: {len(self.x)} x values vs {len(self.y)} y values"
+            )
+
+
+def series_over_k(
+    records: Iterable[RunRecord],
+    value: str,
+    algorithms: Sequence[str],
+    ks: Sequence[int],
+) -> list[FigureSeries]:
+    """Figures 1-3: one curve per algorithm over the k grid."""
+    means = aggregate(records, value=value, by=("algorithm", "k"))
+    out = []
+    for algo in algorithms:
+        ys = []
+        for k in ks:
+            if (algo, k) not in means:
+                raise ExperimentError(f"missing grid point ({algo}, k={k})")
+            ys.append(means[(algo, k)])
+        out.append(FigureSeries(algo, [float(k) for k in ks], ys))
+    return out
+
+
+def series_over_n(
+    base_spec: ExperimentSpec,
+    n_grid: Sequence[int],
+    value: str = "parallel_time",
+    progress: Callable[[str], None] | None = None,
+) -> tuple[list[FigureSeries], list[RunRecord]]:
+    """Figure 4: run the base spec at each n; one curve per algorithm.
+
+    The base spec must have a single k (Figure 4 fixes k and sweeps n).
+    Returns the series plus all raw records.
+    """
+    if len(base_spec.ks) != 1:
+        raise ExperimentError("figure-4 specs fix exactly one k")
+    k = base_spec.ks[0]
+    all_records: list[RunRecord] = []
+    per_n: dict[tuple[str, int], float] = {}
+    for n in n_grid:
+        records = run_experiment(base_spec.scaled(int(n)), progress=progress)
+        all_records.extend(records)
+        means = aggregate(records, value=value, by=("algorithm", "k"))
+        for algo in (a.name for a in base_spec.algorithms):
+            per_n[(algo, int(n))] = means[(algo, k)]
+    series = [
+        FigureSeries(
+            algo.name,
+            [float(n) for n in n_grid],
+            [per_n[(algo.name, int(n))] for n in n_grid],
+        )
+        for algo in base_spec.algorithms
+    ]
+    return series, all_records
+
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    series: list[FigureSeries],
+    width: int = 68,
+    height: int = 18,
+    logy: bool = True,
+    title: str | None = None,
+    ylabel: str = "",
+    xlabel: str = "",
+) -> str:
+    """Render series as a plain-text chart (log y by default, like the paper).
+
+    Positive y values only when ``logy`` is set; zeros are clamped to the
+    smallest positive value present.
+    """
+    if not series:
+        raise ExperimentError("nothing to plot")
+    xs = sorted({x for s in series for x in s.x})
+    ys_all = [y for s in series for y in s.y]
+    if logy:
+        positive = [y for y in ys_all if y > 0]
+        if not positive:
+            raise ExperimentError("log-scale chart needs at least one positive value")
+        floor = min(positive)
+        transform = lambda y: math.log10(max(y, floor))
+    else:
+        transform = float
+    ty = [transform(y) for y in ys_all]
+    y_lo, y_hi = min(ty), max(ty)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = min(xs), max(xs)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, s in enumerate(series):
+        marker = _MARKERS[si % len(_MARKERS)]
+        for x, y in zip(s.x, s.y):
+            col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((transform(y) - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{10 ** y_hi:.3g}" if logy else f"{y_hi:.3g}"
+    bot_label = f"{10 ** y_lo:.3g}" if logy else f"{y_lo:.3g}"
+    label_w = max(len(top_label), len(bot_label), len(ylabel)) + 1
+    for i, row_cells in enumerate(grid):
+        if i == 0:
+            prefix = top_label.rjust(label_w)
+        elif i == height - 1:
+            prefix = bot_label.rjust(label_w)
+        elif i == height // 2 and ylabel:
+            prefix = ylabel.rjust(label_w)
+        else:
+            prefix = " " * label_w
+        lines.append(f"{prefix} |{''.join(row_cells)}")
+    lines.append(" " * label_w + " +" + "-" * width)
+    x_axis = f"{x_lo:.3g}".ljust(width - 8) + f"{x_hi:.3g}"
+    lines.append(" " * (label_w + 2) + x_axis + (f"   {xlabel}" if xlabel else ""))
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {s.label}" for i, s in enumerate(series)
+    )
+    lines.append(" " * (label_w + 2) + legend)
+    return "\n".join(lines)

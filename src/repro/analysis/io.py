@@ -1,0 +1,82 @@
+"""Persistence for experiment records.
+
+Long experiment grids (especially at ``REPRO_SCALE=paper``) are worth
+saving: the CSV round-trip here lets a user run the grid once, archive the
+records, and rebuild any table/figure offline.  Plain ``csv`` from the
+standard library — no dataframe dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.experiments import RunRecord
+from repro.errors import ExperimentError
+
+__all__ = ["save_records", "load_records"]
+
+_FIELDS = [
+    "experiment",
+    "dataset",
+    "n",
+    "instance",
+    "run",
+    "algorithm",
+    "k",
+    "radius",
+    "parallel_time",
+    "wall_time",
+    "cpu_time",
+    "rounds",
+    "dist_evals",
+    "extra",
+]
+_INT_FIELDS = {"n", "instance", "run", "k", "rounds", "dist_evals"}
+_FLOAT_FIELDS = {"radius", "parallel_time", "wall_time", "cpu_time"}
+
+
+def save_records(records: Iterable[RunRecord], path: str | Path) -> Path:
+    """Write records as CSV (the ``extra`` dict is JSON-encoded)."""
+    path = Path(path)
+    rows = list(records)
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=_FIELDS)
+        writer.writeheader()
+        for rec in rows:
+            row = {name: getattr(rec, name) for name in _FIELDS[:-1]}
+            row["extra"] = json.dumps(rec.extra, sort_keys=True)
+            writer.writerow(row)
+    return path
+
+
+def load_records(path: str | Path) -> list[RunRecord]:
+    """Read records written by :func:`save_records`."""
+    path = Path(path)
+    if not path.exists():
+        raise ExperimentError(f"no record file at {path}")
+    out: list[RunRecord] = []
+    with path.open(newline="") as fh:
+        reader = csv.DictReader(fh)
+        if reader.fieldnames != _FIELDS:
+            raise ExperimentError(
+                f"{path} is not a records file (header {reader.fieldnames})"
+            )
+        for line_no, row in enumerate(reader, start=2):
+            try:
+                kwargs = {}
+                for name in _FIELDS[:-1]:
+                    value = row[name]
+                    if name in _INT_FIELDS:
+                        kwargs[name] = int(value)
+                    elif name in _FLOAT_FIELDS:
+                        kwargs[name] = float(value)
+                    else:
+                        kwargs[name] = value
+                kwargs["extra"] = json.loads(row["extra"])
+            except (KeyError, ValueError, json.JSONDecodeError) as exc:
+                raise ExperimentError(f"{path}:{line_no}: bad record ({exc})") from exc
+            out.append(RunRecord(**kwargs))
+    return out

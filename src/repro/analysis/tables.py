@@ -1,0 +1,111 @@
+"""Rebuild the paper's tables from run records.
+
+Each builder returns ``(headers, rows)`` ready for
+:func:`repro.utils.tables.format_table`, in the exact row/column layout of
+the corresponding paper table so console output can be compared cell by
+cell with the transcription in :mod:`repro.analysis.paper`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.analysis.experiments import RunRecord, aggregate
+from repro.errors import ExperimentError
+
+__all__ = [
+    "solution_value_table",
+    "runtime_table",
+    "phi_table",
+    "side_by_side",
+]
+
+
+def _grid_values(
+    records: Iterable[RunRecord],
+    value: str,
+    algorithms: Sequence[str],
+    ks: Sequence[int],
+) -> dict[tuple[str, int], float]:
+    means = aggregate(records, value=value, by=("algorithm", "k"))
+    missing = [
+        (a, k) for a in algorithms for k in ks if (a, k) not in means
+    ]
+    if missing:
+        raise ExperimentError(f"records are missing grid points: {missing[:5]}...")
+    return means
+
+
+def solution_value_table(
+    records: Iterable[RunRecord],
+    algorithms: Sequence[str] = ("MRG", "EIM", "GON"),
+    ks: Sequence[int] = (2, 5, 10, 25, 50, 100),
+) -> tuple[list[str], list[list]]:
+    """Tables 2-5 layout: rows are k, columns are algorithms (values)."""
+    means = _grid_values(records, "radius", algorithms, ks)
+    headers = ["k", *algorithms]
+    rows = [[k, *(means[(a, k)] for a in algorithms)] for k in ks]
+    return headers, rows
+
+
+def runtime_table(
+    records: Iterable[RunRecord],
+    algorithms: Sequence[str] = ("MRG", "EIM", "GON"),
+    ks: Sequence[int] = (2, 5, 10, 25, 50, 100),
+) -> tuple[list[str], list[list]]:
+    """Runtime analogue of the solution tables (simulated parallel time)."""
+    means = _grid_values(records, "parallel_time", algorithms, ks)
+    headers = ["k", *algorithms]
+    rows = [[k, *(means[(a, k)] for a in algorithms)] for k in ks]
+    return headers, rows
+
+
+def phi_table(
+    records: Iterable[RunRecord],
+    value: str,
+    phis: Sequence[float] = (1.0, 4.0, 6.0, 8.0),
+    ks: Sequence[int] = (2, 5, 10, 25, 50, 100),
+) -> tuple[list[str], list[list]]:
+    """Tables 6-7 layout: rows are k, columns are phi values.
+
+    ``value`` is ``"radius"`` (Table 6) or ``"parallel_time"`` (Table 7).
+    """
+    algorithms = [f"EIM(phi={phi:g})" for phi in phis]
+    means = _grid_values(records, value, algorithms, ks)
+    headers = ["k", *[f"phi={phi:g}" for phi in phis]]
+    rows = [[k, *(means[(a, k)] for a in algorithms)] for k in ks]
+    return headers, rows
+
+
+def side_by_side(
+    measured_rows: list[list],
+    paper_table: dict[int, tuple],
+    label_measured: str = "measured",
+    label_paper: str = "paper",
+) -> tuple[list[str], list[list]]:
+    """Interleave measured and paper columns for visual comparison.
+
+    ``measured_rows`` must have k in column 0 and one value column per
+    paper-table column, in the same order.
+    """
+    if not measured_rows:
+        raise ExperimentError("no measured rows to compare")
+    n_cols = len(measured_rows[0]) - 1
+    sample = next(iter(paper_table.values()))
+    if len(sample) != n_cols:
+        raise ExperimentError(
+            f"measured rows have {n_cols} value columns but the paper table has {len(sample)}"
+        )
+    headers = ["k"]
+    for j in range(n_cols):
+        headers += [f"{label_measured}[{j}]", f"{label_paper}[{j}]"]
+    rows = []
+    for row in measured_rows:
+        k = int(row[0])
+        if k not in paper_table:
+            continue
+        interleaved: list = [k]
+        for j in range(n_cols):
+            interleaved += [row[1 + j], paper_table[k][j]]
+        rows.append(interleaved)
+    return headers, rows

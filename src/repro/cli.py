@@ -1,0 +1,181 @@
+"""Command-line interface: regenerate any paper table or figure.
+
+Examples
+--------
+::
+
+    repro-kcenter list
+    repro-kcenter run table3
+    repro-kcenter run figure2a --scale paper
+    repro-kcenter run table6 --m 50 --seed 7
+    python -m repro.cli run figure4a
+
+Output is the paper-layout table (or ASCII chart) plus, where the paper
+published numbers, a side-by-side comparison and the qualitative shape
+checks from :mod:`repro.analysis.report`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.analysis import run_experiment
+from repro.analysis.configs import (
+    EXPERIMENT_IDS,
+    experiment_config,
+    figure4_n_grid,
+    resolve_scale,
+)
+from repro.analysis.figures import ascii_chart, series_over_k, series_over_n
+from repro.analysis.paper import (
+    PAPER_K_GRID,
+    PAPER_PHI_GRID,
+    SOLUTION_TABLES,
+    TABLE6,
+    TABLE7,
+)
+from repro.analysis.report import (
+    check_phi_runtime_direction,
+    check_runtime_ordering,
+    check_winner_agreement,
+    fallback_ks,
+    render_checks,
+    speedup_summary,
+)
+from repro.analysis.tables import phi_table, runtime_table, side_by_side, solution_value_table
+from repro.utils.tables import format_table
+
+__all__ = ["main"]
+
+_STANDARD = ("MRG", "EIM", "GON")
+
+
+def _progress(message: str) -> None:
+    print(f"  .. {message}", file=sys.stderr, flush=True)
+
+
+def _run_solution_table(exp: str, scale: str, m: int, seed: int, quiet: bool) -> None:
+    spec = experiment_config(exp, scale=scale, m=m)
+    spec = type(spec)(**{**spec.__dict__, "master_seed": seed})
+    records = run_experiment(spec, progress=None if quiet else _progress)
+    headers, rows = solution_value_table(records)
+    desc, paper = SOLUTION_TABLES[exp]
+    print(format_table(headers, rows, title=f"{exp}: solution value over k — {desc} "
+                                            f"(measured at n={spec.n}, scale={scale})"))
+    print()
+    cmp_headers, cmp_rows = side_by_side(rows, paper)
+    print(format_table(cmp_headers, cmp_rows, title=f"{exp}: measured vs paper "
+                                                    f"(columns: {', '.join(_STANDARD)})"))
+    print()
+    checks = [
+        check_winner_agreement(rows, paper),
+        check_runtime_ordering(records),
+    ]
+    print(render_checks(checks))
+    print()
+    t_headers, t_rows = runtime_table(records)
+    print(format_table(t_headers, t_rows, title=f"{exp}: simulated parallel runtime (s)"))
+
+
+def _run_phi_table(exp: str, scale: str, m: int, seed: int, quiet: bool) -> None:
+    spec = experiment_config(exp, scale=scale, m=m)
+    spec = type(spec)(**{**spec.__dict__, "master_seed": seed})
+    records = run_experiment(spec, progress=None if quiet else _progress)
+    value = "radius" if exp == "table6" else "parallel_time"
+    paper = TABLE6 if exp == "table6" else TABLE7
+    what = "solution value" if exp == "table6" else "runtime (s)"
+    headers, rows = phi_table(records, value)
+    print(format_table(headers, rows, title=f"{exp}: EIM {what} over phi — "
+                                            f"GAU (measured at n={spec.n}, scale={scale})"))
+    print()
+    cmp_headers, cmp_rows = side_by_side(
+        rows, paper, label_measured="meas", label_paper="paper"
+    )
+    print(format_table(cmp_headers, cmp_rows,
+                       title=f"{exp}: measured vs paper (columns: phi = "
+                             f"{', '.join(f'{p:g}' for p in PAPER_PHI_GRID)})"))
+    if exp == "table7":
+        print()
+        print(render_checks([check_phi_runtime_direction(records)]))
+
+
+def _run_figure_k(exp: str, scale: str, m: int, seed: int, quiet: bool) -> None:
+    spec = experiment_config(exp, scale=scale, m=m)
+    spec = type(spec)(**{**spec.__dict__, "master_seed": seed})
+    records = run_experiment(spec, progress=None if quiet else _progress)
+    value = "radius" if exp == "figure1" else "parallel_time"
+    label = "solution value" if exp == "figure1" else "runtime (s)"
+    series = series_over_k(records, value, _STANDARD, list(PAPER_K_GRID))
+    print(ascii_chart(series, title=f"{exp}: {label} over k — {spec.dataset} "
+                                    f"(n={spec.n}, scale={scale}), log y",
+                      xlabel="k"))
+    print()
+    if exp != "figure1":
+        print(render_checks([check_runtime_ordering(records)]))
+        ratios = speedup_summary(records)
+        for algo, by_k in sorted(ratios.items()):
+            pretty = ", ".join(f"k={k}: {v:.1f}x" for k, v in sorted(by_k.items()))
+            print(f"  {algo} / MRG runtime ratio: {pretty}")
+    fell_back = fallback_ks(records)
+    if fell_back:
+        print(f"  EIM fell back to sequential GON at k in {fell_back}")
+
+
+def _run_figure4(exp: str, scale: str, m: int, seed: int, quiet: bool) -> None:
+    spec = experiment_config(exp, scale=scale, m=m)
+    spec = type(spec)(**{**spec.__dict__, "master_seed": seed})
+    n_grid = figure4_n_grid(scale)
+    series, records = series_over_n(
+        spec, n_grid, progress=None if quiet else _progress
+    )
+    k = spec.ks[0]
+    print(ascii_chart(series, title=f"{exp}: runtime (s) over n at k={k} "
+                                    f"(scale={scale}), log y", xlabel="n"))
+    print()
+    fell_back = fallback_ks(records)
+    if fell_back:
+        print(f"  EIM fell back to sequential GON at k in {fell_back}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-kcenter",
+        description="Reproduce tables/figures of McClintock & Wirth (ICPP 2016).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list reproducible experiment ids")
+    run = sub.add_parser("run", help="run one experiment and print its table/figure")
+    run.add_argument("experiment", choices=sorted(EXPERIMENT_IDS))
+    run.add_argument("--scale", choices=["default", "paper"], default=None,
+                     help="experiment sizes (default: scaled-down; see EXPERIMENTS.md)")
+    run.add_argument("--m", type=int, default=50, help="simulated machines (paper: 50)")
+    run.add_argument("--seed", type=int, default=2016, help="master seed")
+    run.add_argument("--quiet", action="store_true", help="suppress progress lines")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for exp in sorted(EXPERIMENT_IDS):
+            print(exp)
+        return 0
+
+    scale = resolve_scale(args.scale)
+    exp = args.experiment
+    t0 = time.perf_counter()
+    if exp in SOLUTION_TABLES:
+        _run_solution_table(exp, scale, args.m, args.seed, args.quiet)
+    elif exp in ("table6", "table7"):
+        _run_phi_table(exp, scale, args.m, args.seed, args.quiet)
+    elif exp in ("figure1", "figure2a", "figure2b", "figure3a", "figure3b"):
+        _run_figure_k(exp, scale, args.m, args.seed, args.quiet)
+    elif exp in ("figure4a", "figure4b"):
+        _run_figure4(exp, scale, args.m, args.seed, args.quiet)
+    else:  # pragma: no cover - argparse choices prevent this
+        parser.error(f"unknown experiment {exp}")
+    print(f"\n[{exp} completed in {time.perf_counter() - t0:.1f}s at scale={scale}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,43 @@
+"""Core k-center algorithms (systems S3-S6, S9).
+
+* :func:`~repro.core.gonzalez.gonzalez` — GON, Gonzalez's sequential
+  greedy 2-approximation (farthest-first traversal);
+* :func:`~repro.core.mrg.mrg` — MRG, the paper's multi-round MapReduce
+  parallelisation of GON (4-approximation in the two-round regime,
+  ``2(i+1)`` with ``i`` reduction rounds);
+* :func:`~repro.core.eim.eim` — EIM, the generalised Ene-Im-Moseley
+  iterative-sampling MapReduce algorithm with the paper's termination
+  fixes and pivot-rank parameter ``phi``;
+* :func:`~repro.core.hochbaum_shmoys.hochbaum_shmoys` — the alternative
+  sequential 2-approximation the paper's future-work section points to;
+* :func:`~repro.core.exact.exact_kcenter` — brute-force oracle for tiny
+  instances (testing);
+* :mod:`~repro.core.bounds` — certified lower bounds on OPT;
+* :mod:`~repro.core.theory` — Table 1 formulas, Eq. (1)-(2) arithmetic.
+"""
+
+from repro.core.assignment import assign, covering_radius
+from repro.core.bounds import greedy_lower_bound, packing_lower_bound
+from repro.core.eim import EIMParams, eim
+from repro.core.exact import exact_kcenter
+from repro.core.gonzalez import gonzalez, gonzalez_trace
+from repro.core.hochbaum_shmoys import hochbaum_shmoys
+from repro.core.mr_hochbaum_shmoys import mr_hochbaum_shmoys
+from repro.core.mrg import mrg
+from repro.core.result import KCenterResult
+
+__all__ = [
+    "KCenterResult",
+    "gonzalez",
+    "gonzalez_trace",
+    "mrg",
+    "eim",
+    "EIMParams",
+    "hochbaum_shmoys",
+    "mr_hochbaum_shmoys",
+    "exact_kcenter",
+    "assign",
+    "covering_radius",
+    "greedy_lower_bound",
+    "packing_lower_bound",
+]

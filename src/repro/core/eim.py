@@ -1,0 +1,363 @@
+"""EIM — the generalised Ene-Im-Moseley iterative-sampling algorithm
+(paper Algorithms 2-3, Sections 4-6).
+
+One iteration of the main loop is three MapReduce rounds:
+
+1. **Sample** — each machine independently adds each of its points of R to
+   the sample S with probability ``9 k n^eps log n / |R|`` and to the pivot
+   pool H with probability ``4 n^eps log n / |R|``.
+2. **Select** — a single machine receives H and S (plus the H-to-S
+   distances) and picks the pivot ``v``: the ``phi * log(n)``-th farthest
+   point of H from S.  The original Ene et al. scheme is ``phi = 8``; the
+   paper's Section 6 shows the probabilistic guarantee survives for
+   ``phi`` above a threshold (quoted as 5.15) and benchmarks
+   ``phi in {1, 4, 6, 8}``.
+3. **Remove** — every machine drops from its share of R the points whose
+   distance to S is at most ``d(v, S)``.
+
+The loop ends when ``|R| <= (4/eps) k n^eps log n``; the final candidate
+set is ``C = S u R`` and one clean-up round runs a sequential k-center
+algorithm (GON here, as in the paper) on C.
+
+Termination fixes (paper Section 4.1), both on by default:
+
+* removal uses ``<=`` (not ``<``) so points *at* the pivot distance — in
+  particular freshly sampled points, which are at distance 0 from S — are
+  removed;
+* sampled points are removed from R explicitly even when the pivot pool H
+  came up empty.
+
+Setting ``legacy_removal=True`` restores the original strict-inequality
+behaviour for the stall-reproduction ablation; the implementation then
+detects stalled iterations and raises
+:class:`~repro.errors.ConvergenceError` instead of looping forever.
+
+The **fallback regime** of Figures 3b/4b is implicit: when the while
+condition fails immediately (k too large relative to n), C = V and EIM
+degenerates to one round of sequential GON on the whole input.
+
+Distance maintenance is incremental: each point of R carries its current
+distance to S, and each iteration folds only the *newly sampled* points
+into that running minimum (total work ``sum_l |R_l| * |dS_l|``, the same
+asymptotics as the paper's Round-3 count with a smaller constant).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.assignment import covering_radius
+from repro.core.gonzalez import gonzalez_trace
+from repro.core.result import KCenterResult
+from repro.errors import CapacityError, ConvergenceError, InvalidParameterError
+from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.executor import Executor
+from repro.mapreduce.partition import block_partition
+from repro.metric.base import MetricSpace
+from repro.utils.rng import SeedLike, SeedStream
+from repro.utils.timing import Timer
+
+__all__ = ["EIMParams", "eim"]
+
+
+@dataclass(frozen=True)
+class EIMParams:
+    """Tunable parameters of the EIM scheme.
+
+    Attributes
+    ----------
+    eps:
+        The ``epsilon`` of the scheme; the loop runs O(1/eps) iterations
+        w.h.p.  The paper confirms Ene et al.'s choice 0.1.
+    phi:
+        Pivot rank multiplier: the pivot is the ``phi * log(n)``-th
+        farthest point of H from S.  8.0 reproduces the original scheme.
+    sample_coeff:
+        The ``9`` in the S-sampling probability ``9 k n^eps log n / |R|``.
+    pivot_coeff:
+        The ``4`` in the H-sampling probability ``4 n^eps log n / |R|``.
+    threshold_coeff:
+        The ``4`` in the loop threshold ``(4/eps) k n^eps log n``.
+    legacy_removal:
+        Reproduce the original strict-``<`` removal (ablation only).
+    max_iterations:
+        Hard stop; the theory predicts O(1/eps) iterations, so the default
+        ``10 * ceil(1/eps) + 10`` only trips on genuine stalls.
+    """
+
+    eps: float = 0.1
+    phi: float = 8.0
+    sample_coeff: float = 9.0
+    pivot_coeff: float = 4.0
+    threshold_coeff: float = 4.0
+    legacy_removal: bool = False
+    max_iterations: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.eps < 1.0:
+            raise InvalidParameterError(f"eps must be in (0, 1), got {self.eps}")
+        if self.phi <= 0:
+            raise InvalidParameterError(f"phi must be positive, got {self.phi}")
+        if min(self.sample_coeff, self.pivot_coeff, self.threshold_coeff) <= 0:
+            raise InvalidParameterError("all EIM coefficients must be positive")
+
+    @property
+    def iteration_cap(self) -> int:
+        if self.max_iterations is not None:
+            return self.max_iterations
+        return 10 * math.ceil(1.0 / self.eps) + 10
+
+    def loop_threshold(self, n: int, k: int) -> float:
+        """|R| threshold below which the while loop stops."""
+        if n <= 1:
+            return float(n)
+        return (self.threshold_coeff / self.eps) * k * n**self.eps * math.log(n)
+
+    def sample_probability(self, n: int, k: int, r_size: int) -> float:
+        """Per-point probability of joining S this iteration (clamped)."""
+        if r_size <= 0:
+            return 0.0
+        p = self.sample_coeff * k * n**self.eps * math.log(n) / r_size
+        return min(1.0, p)
+
+    def pivot_probability(self, n: int, r_size: int) -> float:
+        """Per-point probability of joining H this iteration (clamped)."""
+        if r_size <= 0:
+            return 0.0
+        p = self.pivot_coeff * n**self.eps * math.log(n) / r_size
+        return min(1.0, p)
+
+    def pivot_rank(self, n: int) -> int:
+        """0-based rank of the pivot in the farthest-first ordering of H."""
+        return max(0, math.ceil(self.phi * math.log(max(n, 2))) - 1)
+
+
+def eim(
+    space: MetricSpace,
+    k: int,
+    m: int = 50,
+    params: EIMParams | None = None,
+    capacity: int | None = None,
+    seed: SeedLike = None,
+    executor: Executor | None = None,
+    evaluate: bool = True,
+    **param_overrides,
+) -> KCenterResult:
+    """Run EIM on ``space``; return centers, objective and round accounting.
+
+    Parameters
+    ----------
+    space, k, m, capacity, seed, executor, evaluate:
+        As for :func:`repro.core.mrg.mrg`.  ``capacity=None`` leaves the
+        machines unbounded, matching the paper's experiments (they check
+        the *sample* fits rather than engineering c); when a capacity is
+        given, the Select and clean-up rounds enforce it.
+    params:
+        An :class:`EIMParams`; keyword overrides (``eps=0.2``, ``phi=4``,
+        ...) may be passed directly instead.
+
+    Notes
+    -----
+    With GON as the clean-up procedure and a feasible ``phi`` the result
+    is a 10-approximation with sufficient probability (paper Lemma 7 with
+    alpha = 2); ``approx_factor`` is set accordingly, or ``None`` when
+    ``phi`` is below the paper's quoted 5.15 threshold.
+    """
+    if params is None:
+        params = EIMParams(**param_overrides)
+    elif param_overrides:
+        raise InvalidParameterError(
+            "pass either a params object or keyword overrides, not both"
+        )
+    if k <= 0:
+        raise InvalidParameterError(f"k must be positive, got {k}")
+    n = space.n
+    if n == 0:
+        return KCenterResult(
+            algorithm="EIM", centers=np.empty(0, dtype=np.intp), radius=0.0, k=k
+        )
+
+    cluster = SimulatedCluster(m, capacity, executor=executor, dist_counter=space.counter)
+    wall = Timer()
+    threshold = params.loop_threshold(n, k)
+    iteration_sizes: list[dict[str, int]] = []
+    seeds = SeedStream(seed)
+
+    with wall:
+        remaining = np.arange(n, dtype=np.intp)  # R, as sorted global indices
+        # d(x, S_old) for x in R, aligned with `remaining`; maintained
+        # incrementally (each iteration folds only the new sample points).
+        dist_to_sample = np.full(n, np.inf)
+        sample = np.empty(0, dtype=np.intp)  # S
+        iteration = 0
+
+        while len(remaining) > threshold:
+            iteration += 1
+            if iteration > params.iteration_cap:
+                raise ConvergenceError(
+                    f"EIM exceeded {params.iteration_cap} iterations "
+                    f"(|R|={len(remaining)}, threshold={threshold:.1f}); "
+                    + ("legacy removal rule stalls on this input"
+                       if params.legacy_removal else "unexpected stall")
+                )
+            r_size = len(remaining)
+            p_s = params.sample_probability(n, k, r_size)
+            p_h = params.pivot_probability(n, r_size)
+
+            # ---- Round 1: per-machine Bernoulli sampling of S and H ----
+            n_machines = min(m, r_size)
+            shard_pos = [p for p in block_partition(r_size, n_machines) if len(p)]
+            shards = [remaining[p] for p in shard_pos]
+            shard_starts = np.cumsum([0] + [len(s) for s in shards])
+            machine_rngs = seeds.generators(len(shards))
+
+            def make_sample_task(shard: np.ndarray, rng: np.random.Generator):
+                def task() -> tuple[np.ndarray, np.ndarray]:
+                    draw_s = rng.random(len(shard)) < p_s
+                    draw_h = rng.random(len(shard)) < p_h
+                    return shard[draw_s], shard[draw_h]
+
+                return task
+
+            pairs = cluster.run_round(
+                f"eim.sample[{iteration}]",
+                [
+                    make_sample_task(shard, machine_rngs[i])
+                    for i, shard in enumerate(shards)
+                ],
+                task_sizes=[len(s) for s in shards],
+            )
+            new_sample = np.concatenate([p[0] for p in pairs])
+            pivot_pool = np.concatenate([p[1] for p in pairs])
+            sample = np.concatenate([sample, new_sample])
+
+            # ---- Round 2: Select the pivot on a single machine ----------
+            # One machine receives H and S plus the maintained H-to-S_old
+            # distances; it folds the new sample points into them and picks
+            # the phi*log(n)-th farthest as the pivot v, returning d(v, S).
+            pivot_dist = -np.inf
+            if len(pivot_pool) and len(sample):
+                # H subset of R, and `remaining` is sorted, so positions are exact.
+                pool_positions = np.searchsorted(remaining, pivot_pool)
+
+                def select_task() -> float:
+                    d_h = dist_to_sample[pool_positions].copy()
+                    if len(new_sample):
+                        space.update_min_dists(d_h, pivot_pool, new_sample)
+                    rank = min(params.pivot_rank(n), len(d_h) - 1)
+                    # phi*log(n)-th farthest = descending order statistic.
+                    kth = len(d_h) - 1 - rank
+                    return float(np.partition(d_h, kth)[kth])
+
+                (pivot_dist,) = cluster.run_round(
+                    f"eim.select[{iteration}]",
+                    [select_task],
+                    task_sizes=[len(pivot_pool) + len(sample)],
+                    shuffle_elements=len(pivot_pool) + len(sample),
+                )
+
+            # ---- Round 3: distance update + removal, sharded ------------
+            in_new_sample = np.isin(remaining, new_sample, assume_unique=False)
+            has_pivot = pivot_dist > -np.inf
+
+            def make_remove_task(lo: int, hi: int):
+                def task() -> np.ndarray:
+                    block = dist_to_sample[lo:hi]  # contiguous view: in-place
+                    if len(new_sample):
+                        space.update_min_dists(block, remaining[lo:hi], new_sample)
+                    if params.legacy_removal:
+                        # Original rule: remove strictly-closer points only,
+                        # and do not force sampled points out of R.
+                        return block >= pivot_dist if has_pivot else np.ones(
+                            hi - lo, dtype=bool
+                        )
+                    keep = (
+                        block > pivot_dist
+                        if has_pivot
+                        else np.ones(hi - lo, dtype=bool)
+                    )
+                    keep &= ~in_new_sample[lo:hi]
+                    return keep
+
+                return task
+
+            keep_blocks = cluster.run_round(
+                f"eim.remove[{iteration}]",
+                [
+                    make_remove_task(int(shard_starts[i]), int(shard_starts[i + 1]))
+                    for i in range(len(shards))
+                ],
+                task_sizes=[len(s) for s in shards],
+                shuffle_elements=len(new_sample) + len(shards),
+            )
+            keep = np.concatenate(keep_blocks)
+
+            iteration_sizes.append(
+                {
+                    "R": r_size,
+                    "new_S": int(len(new_sample)),
+                    "H": int(len(pivot_pool)),
+                    "removed": int(r_size - keep.sum()),
+                }
+            )
+            if keep.all():
+                raise ConvergenceError(
+                    f"EIM iteration {iteration} removed no points "
+                    f"(|R|={r_size}, |H|={len(pivot_pool)}, "
+                    f"legacy_removal={params.legacy_removal})"
+                )
+            remaining = remaining[keep]
+            dist_to_sample = dist_to_sample[keep]
+
+        # ---- Clean-up round: sequential GON on C = S u R ----------------
+        candidates = np.union1d(sample, remaining)
+        if capacity is not None and len(candidates) > capacity:
+            raise CapacityError(
+                f"EIM candidate set of {len(candidates)} points exceeds the "
+                f"machine capacity {capacity}; increase eps or capacity"
+            )
+        final_seed = seeds.seeds(1)[0]
+
+        def final_task() -> np.ndarray:
+            local = space.local(candidates)
+            trace = gonzalez_trace(local, k, seed=final_seed)
+            return candidates[trace.centers]
+
+        (centers,) = cluster.run_round(
+            "eim.final", [final_task], task_sizes=[len(candidates)]
+        )
+
+    eval_timer = Timer()
+    radius = 0.0
+    if evaluate:
+        with eval_timer:
+            radius = covering_radius(space, centers)
+
+    # 4*alpha + 2 with alpha = 2 (GON) = 10, valid w.s.p. only above the
+    # paper's phi threshold; no a-priori bound below it (Section 8.3).
+    from repro.core.theory import PHI_PAPER_THRESHOLD
+
+    factor = 10.0 if params.phi > PHI_PAPER_THRESHOLD else None
+    return KCenterResult(
+        algorithm="EIM",
+        centers=centers,
+        radius=radius,
+        k=k,
+        stats=cluster.stats,
+        wall_time=wall.elapsed,
+        eval_time=eval_timer.elapsed,
+        approx_factor=factor,
+        extra={
+            "m": m,
+            "params": params,
+            "iterations": iteration,
+            "loop_threshold": threshold,
+            "sample_size": int(len(sample)),
+            "candidate_size": int(len(candidates)),
+            "iteration_sizes": iteration_sizes,
+            "fallback_to_gon": iteration == 0,
+        },
+    )

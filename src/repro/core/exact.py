@@ -1,0 +1,69 @@
+"""Brute-force exact k-center oracle (testing only).
+
+Enumerates every size-``k`` subset of the candidate centers and evaluates
+the covering radius, returning a true optimum.  Complexity is
+``C(n, k) * n * k`` distance reads, so a hard guard refuses instances with
+more than :data:`MAX_COMBINATIONS` candidate subsets.  Used by the unit and
+property tests to certify the 2-/4-approximation guarantees end to end.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import comb
+
+import numpy as np
+
+from repro.core.result import KCenterResult
+from repro.errors import InvalidParameterError
+from repro.metric.base import MetricSpace
+from repro.utils.timing import Timer
+
+__all__ = ["exact_kcenter", "MAX_COMBINATIONS"]
+
+#: Refuse instances whose subset count exceeds this (keeps tests honest
+#: about what "tiny" means: C(18, 4) = 3060, C(25, 3) = 2300, ...).
+MAX_COMBINATIONS = 200_000
+
+
+def exact_kcenter(space: MetricSpace, k: int) -> KCenterResult:
+    """Optimal k-center by exhaustive search over center subsets."""
+    if k <= 0:
+        raise InvalidParameterError(f"k must be positive, got {k}")
+    n = space.n
+    if n == 0:
+        return KCenterResult(
+            algorithm="EXACT", centers=np.empty(0, dtype=np.intp), radius=0.0, k=k
+        )
+    k_eff = min(k, n)
+    n_subsets = comb(n, k_eff)
+    if n_subsets > MAX_COMBINATIONS:
+        raise InvalidParameterError(
+            f"exact oracle refuses C({n}, {k_eff}) = {n_subsets} subsets "
+            f"(cap {MAX_COMBINATIONS}); this oracle is for tiny test instances"
+        )
+
+    timer = Timer()
+    with timer:
+        # One dense n x n matrix (tiny by the guard above); each candidate
+        # subset is then a vectorised row-min + max.
+        all_idx = np.arange(n, dtype=np.intp)
+        dmat = space.cross(all_idx, all_idx)
+        best_radius = np.inf
+        best: tuple[int, ...] | None = None
+        for subset in combinations(range(n), k_eff):
+            radius = dmat[:, subset].min(axis=1).max()
+            if radius < best_radius:
+                best_radius = float(radius)
+                best = subset
+                if best_radius == 0.0:
+                    break
+    assert best is not None
+    return KCenterResult(
+        algorithm="EXACT",
+        centers=np.asarray(best, dtype=np.intp),
+        radius=best_radius,
+        k=k,
+        wall_time=timer.elapsed,
+        approx_factor=1.0,
+    )

@@ -1,0 +1,221 @@
+"""MRG — "MapReduce Gonzalez" (paper Algorithm 1, Sections 3.1-3.3).
+
+Round structure::
+
+    S <- V
+    while |S| > c:
+        partition S across machines (|V_i| <= ceil(n/m) in round 1;
+        later rounds use the minimal machine count ceil(|S|/c), Eq. (1))
+        each machine runs GON on its shard, emitting k centers
+        S <- union of the emitted centers
+    one machine runs GON on S  ->  the k final centers
+
+In the standard regime (``n/m <= c`` and ``k*m <= c``) the while loop runs
+once and the schedule is two MapReduce rounds with a 4-approximation
+(Lemma 2).  When ``k*m > c`` the loop iterates; each extra round adds 2 to
+the approximation factor (Lemma 3), and convergence requires ``2k < c``
+(the Eq. (1) geometric tail must allow the surviving centers to fit on one
+machine).
+
+Timing follows the paper's methodology: each reducer's GON is individually
+wall-clocked, the round's simulated parallel time is the slowest reducer,
+and the final objective evaluation over all of V is *not* charged to the
+algorithm (reported separately as ``eval_time``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from repro.core.assignment import covering_radius
+from repro.core.gonzalez import gonzalez_trace
+from repro.core.result import KCenterResult
+from repro.errors import CapacityError, InvalidParameterError
+from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.executor import Executor
+from repro.mapreduce.model import default_capacity, mrg_approximation_factor, validate_cluster
+from repro.mapreduce.partition import PARTITIONERS, block_partition
+from repro.metric.base import MetricSpace
+from repro.utils.rng import SeedLike, spawn_seeds
+from repro.utils.timing import Timer
+
+__all__ = ["mrg"]
+
+
+def _resolve_partitioner(partitioner) -> Callable:
+    if callable(partitioner):
+        return partitioner
+    try:
+        return PARTITIONERS[partitioner]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown partitioner {partitioner!r}; choose from {sorted(PARTITIONERS)}"
+        ) from None
+
+
+def _partition_indices(
+    fn: Callable, current: np.ndarray, n_machines: int, seed
+) -> list[np.ndarray]:
+    """Partition positions of ``current`` into machine shards (global ids)."""
+    if fn is block_partition or fn is PARTITIONERS["block"]:
+        parts = fn(len(current), n_machines)
+    else:
+        try:
+            parts = fn(len(current), n_machines, seed)
+        except TypeError:
+            parts = fn(len(current), n_machines)
+    return [current[p] for p in parts if len(p)]
+
+
+def mrg(
+    space: MetricSpace,
+    k: int,
+    m: int = 50,
+    capacity: int | None = None,
+    partitioner="block",
+    seed: SeedLike = None,
+    executor: Executor | None = None,
+    max_rounds: int = 64,
+    evaluate: bool = True,
+) -> KCenterResult:
+    """Run MRG on ``space``; return centers, objective and round accounting.
+
+    Parameters
+    ----------
+    space:
+        The input metric space (all n points).
+    k:
+        Number of centers.
+    m:
+        Number of simulated machines (paper experiments fix m = 50).
+    capacity:
+        Per-machine capacity in points.  ``None`` chooses the smallest
+        capacity for which the two-round regime applies
+        (:func:`repro.mapreduce.model.default_capacity`), matching the
+        paper's experimental setup, which never hits the capacity wall.
+        Pass a small value to force the multi-round regime.
+    partitioner:
+        ``"block"`` (the paper's arbitrary partition), ``"random"``,
+        ``"hash"``, or a callable ``(n, m[, seed]) -> list[index arrays]``.
+    seed:
+        Master seed; child seeds drive each machine's GON seeding and the
+        partitioner, so runs are reproducible and executor-independent.
+    executor:
+        Task backend (sequential by default — the paper's methodology).
+    max_rounds:
+        Safety bound on while-loop iterations.
+    evaluate:
+        When true (default), compute the covering radius over all points
+        (reported as ``radius``; timed separately in ``eval_time``).
+    """
+    if k <= 0:
+        raise InvalidParameterError(f"k must be positive, got {k}")
+    n = space.n
+    if n == 0:
+        return KCenterResult(
+            algorithm="MRG", centers=np.empty(0, dtype=np.intp), radius=0.0, k=k
+        )
+    c = default_capacity(n, k, m) if capacity is None else int(capacity)
+    validate_cluster(n, k, m, c)
+    part_fn = _resolve_partitioner(partitioner)
+
+    cluster = SimulatedCluster(m, c, executor=executor, dist_counter=space.counter)
+    wall = Timer()
+
+    with wall:
+        current = np.arange(n, dtype=np.intp)
+        reduction_rounds = 0
+        shard_history: list[list[int]] = []
+        while len(current) > c:
+            reduction_rounds += 1
+            if reduction_rounds > max_rounds:
+                raise CapacityError(
+                    f"MRG did not converge within {max_rounds} reduction rounds "
+                    f"(k={k}, m={m}, c={c})"
+                )
+            # Machine count per round.  Capacity requires at least
+            # ceil(|S|/c) machines; progress requires k * machines < |S|
+            # (otherwise the union of per-machine centers does not shrink
+            # — the paper's "we further assume that n/m > k: if this is
+            # not the case, then we can reduce the number of machines").
+            # Round 1 uses as many machines as useful (full parallelism);
+            # later rounds use the minimal count of Eq. (1), m' = ceil(|S|/c).
+            size = len(current)
+            min_machines = math.ceil(size / c)
+            max_useful = (size - 1) // k  # size > c >= k, so >= 1
+            if reduction_rounds == 1:
+                n_machines = min(m, max_useful)
+            else:
+                n_machines = min_machines
+            if not (min_machines <= n_machines <= min(m, max_useful)):
+                raise CapacityError(
+                    f"MRG cannot make progress with |S|={size}, k={k}, m={m}, "
+                    f"c={c}: need ceil(|S|/c)={min_machines} machines for "
+                    f"capacity but at most {max_useful} for the center set to "
+                    "shrink (the paper's convergence condition 2k < c fails)"
+                )
+            part_seed, *machine_seeds = spawn_seeds(seed, n_machines + 1)
+            shards = _partition_indices(part_fn, current, n_machines, part_seed)
+            shard_history.append([len(s) for s in shards])
+
+            def make_task(shard: np.ndarray, machine_seed):
+                def task() -> np.ndarray:
+                    local = space.local(shard)
+                    trace = gonzalez_trace(local, k, seed=machine_seed)
+                    return shard[trace.centers]
+
+                return task
+
+            tasks = [
+                make_task(shard, machine_seeds[i]) for i, shard in enumerate(shards)
+            ]
+            results = cluster.run_round(
+                f"mrg.reduce[{reduction_rounds}]",
+                tasks,
+                task_sizes=[len(s) for s in shards],
+            )
+            current = np.concatenate(results)
+
+        # Final round: GON on the surviving sample, on a single machine.
+        final_seed = spawn_seeds(seed, 1)[0] if seed is not None else None
+
+        def final_task() -> np.ndarray:
+            local = space.local(current)
+            trace = gonzalez_trace(local, k, seed=final_seed)
+            return current[trace.centers]
+
+        (centers,) = cluster.run_round(
+            "mrg.final", [final_task], task_sizes=[len(current)]
+        )
+
+    eval_timer = Timer()
+    radius = float("nan")
+    if evaluate:
+        with eval_timer:
+            radius = covering_radius(space, centers)
+
+    total_rounds = reduction_rounds + 1
+    # With zero reduction rounds (the whole input fit on one machine) the
+    # schedule degenerated to a single round of sequential GON: factor 2.
+    factor = 2.0 if total_rounds == 1 else float(mrg_approximation_factor(total_rounds))
+    return KCenterResult(
+        algorithm="MRG",
+        centers=centers,
+        radius=radius if evaluate else 0.0,
+        k=k,
+        stats=cluster.stats,
+        wall_time=wall.elapsed,
+        eval_time=eval_timer.elapsed,
+        approx_factor=factor,
+        extra={
+            "m": m,
+            "capacity": c,
+            "reduction_rounds": reduction_rounds,
+            "total_rounds": total_rounds,
+            "shard_sizes": shard_history,
+            "sample_size_final": len(current),
+        },
+    )

@@ -1,0 +1,106 @@
+"""Result type shared by every k-center algorithm in the package."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.mapreduce.accounting import JobStats
+
+__all__ = ["KCenterResult"]
+
+
+@dataclass
+class KCenterResult:
+    """Outcome of one k-center run.
+
+    Attributes
+    ----------
+    algorithm:
+        Short algorithm tag ("GON", "MRG", "EIM", ...).
+    centers:
+        Global indices (into the space the algorithm ran on) of the at most
+        ``k`` chosen centers.
+    radius:
+        The solution value: the covering radius ``max_v min_{s in centers}
+        d(v, s)`` over the full space.
+    k:
+        The requested number of centers (``len(centers) <= k``; fewer only
+        when the space itself has fewer than ``k`` points).
+    stats:
+        MapReduce accounting for parallel algorithms (``None`` for purely
+        sequential runs); ``stats.parallel_time`` is the paper's "Runtime".
+    wall_time:
+        End-to-end wall-clock seconds of the algorithm itself, excluding
+        the final objective evaluation over all points.
+    eval_time:
+        Seconds spent computing ``radius`` over the full space (reported
+        separately; the paper does not charge it to algorithm runtime).
+    approx_factor:
+        The a-priori guarantee this run carries (2 for GON, ``2(i+1)`` for
+        MRG, ``4*alpha+2`` for EIM with a feasible ``phi``; ``None`` when
+        no bound applies, e.g. EIM with ``phi`` below the threshold).
+    extra:
+        Algorithm-specific diagnostics (iteration counts, sample sizes,
+        per-round traces, ...).
+    """
+
+    algorithm: str
+    centers: np.ndarray
+    radius: float
+    k: int
+    stats: JobStats | None = None
+    wall_time: float = 0.0
+    eval_time: float = 0.0
+    approx_factor: float | None = None
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.centers = np.asarray(self.centers, dtype=np.intp)
+        if self.centers.ndim != 1:
+            raise ValueError(f"centers must be 1-D, got shape {self.centers.shape}")
+        if len(np.unique(self.centers)) != len(self.centers):
+            raise ValueError("centers contain duplicates")
+        if len(self.centers) > self.k:
+            raise ValueError(
+                f"{len(self.centers)} centers returned for k={self.k}"
+            )
+        if self.radius < 0:
+            raise ValueError(f"negative covering radius {self.radius}")
+
+    @property
+    def n_centers(self) -> int:
+        return len(self.centers)
+
+    @property
+    def parallel_time(self) -> float:
+        """Simulated parallel runtime (falls back to wall time for GON)."""
+        if self.stats is not None:
+            return self.stats.parallel_time
+        return self.wall_time
+
+    @property
+    def n_rounds(self) -> int:
+        """MapReduce rounds used (0 for sequential algorithms)."""
+        return self.stats.n_rounds if self.stats is not None else 0
+
+    def summary(self) -> dict[str, Any]:
+        """Flat record used by the experiment harness and benches."""
+        out = {
+            "algorithm": self.algorithm,
+            "k": self.k,
+            "n_centers": self.n_centers,
+            "radius": self.radius,
+            "wall_time": self.wall_time,
+            "parallel_time": self.parallel_time,
+            "eval_time": self.eval_time,
+            "rounds": self.n_rounds,
+            "approx_factor": self.approx_factor,
+        }
+        if self.stats is not None:
+            out["cpu_time"] = self.stats.cpu_time
+            out["dist_evals"] = self.stats.dist_evals
+            out["shuffle_elements"] = self.stats.shuffle_elements
+        return out

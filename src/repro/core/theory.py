@@ -1,0 +1,178 @@
+"""Theoretical results of the paper as checkable code (system S9).
+
+Covers:
+
+* **Table 1** — approximation factor, round count and asymptotic runtime
+  of GON, MRG and EIM (:func:`table1_rows`,
+  :func:`gon_cost` / :func:`mrg_cost` / :func:`eim_cost`);
+* the predicted **EIM/MRG slowdown factor** ``n^eps (1-n^-eps)^-2 log n``
+  (Section 5: "Comparing the dominant round of EIM to MRG, we expect EIM
+  to be slower by a factor of ...");
+* **Section 6's phi feasibility bound**, Inequality (2):
+  the probabilistic 10-approximation survives when feasible values of the
+  Chernoff parameters exist, i.e. when::
+
+      (phi + x + sqrt(2 x phi + x^2)) / b  <=  phi + x/2 - sqrt(2 x phi + x^2 / 4)
+
+  with ``b <= 5`` and ``x = 1 + gamma``.  :func:`phi_feasible` evaluates
+  the inequality and :func:`phi_feasibility_threshold` solves for the
+  smallest feasible ``phi`` by bisection.
+
+  .. note::
+     The paper quotes the threshold as ``phi > 5.15`` for ``x >= 1``.
+     Evaluating Inequality (2) exactly as printed gives a slightly smaller
+     threshold (~3.9 at ``x = 1``, ``b = 5``); the constant 5.15 appears
+     to fold in additional slack from the surrounding analysis.  We expose
+     both: :data:`PHI_PAPER_THRESHOLD` (the quoted 5.15, used wherever the
+     reproduction mirrors the paper's narrative) and the exact solver (for
+     the theory tests, which check monotonicity and the verdicts on the
+     benchmarked grid phi in {1, 4, 6, 8}).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "PHI_PAPER_THRESHOLD",
+    "gon_cost",
+    "mrg_cost",
+    "eim_cost",
+    "eim_expected_slowdown",
+    "phi_feasible",
+    "phi_feasibility_threshold",
+    "Table1Row",
+    "table1_rows",
+]
+
+#: The phi threshold the paper quotes for the 10-approximation to hold
+#: with sufficient probability (Section 6: "this implies that phi > 5.15").
+PHI_PAPER_THRESHOLD = 5.15
+
+
+# --------------------------------------------------------------------- #
+# Table 1: asymptotic runtimes (unit constants)
+# --------------------------------------------------------------------- #
+def gon_cost(n: int, k: int) -> float:
+    """GON: Theta(k n) distance evaluations."""
+    _check_nk(n, k)
+    return float(k) * n
+
+
+def mrg_cost(n: int, k: int, m: int) -> float:
+    """MRG (two rounds): O(k n / m + k^2 m).
+
+    First round: m concurrent GONs on n/m points each -> k n / m per
+    machine.  Second round: GON on the k m collected centers -> k^2 m.
+    """
+    _check_nk(n, k)
+    if m <= 0:
+        raise InvalidParameterError(f"m must be positive, got {m}")
+    return k * n / m + float(k) * k * m
+
+
+def eim_cost(n: int, k: int, m: int, eps: float = 0.1) -> float:
+    """EIM's dominant Round 3: O(k n^(1+eps) log n / (m (1-n^-eps)^2)).
+
+    The paper's Section 5 shows Round 3 (removal) dominates in practice;
+    the three other rounds are asymptotically smaller whenever k < n.
+    """
+    _check_nk(n, k)
+    if m <= 0:
+        raise InvalidParameterError(f"m must be positive, got {m}")
+    if not 0 < eps < 1:
+        raise InvalidParameterError(f"eps must be in (0, 1), got {eps}")
+    if n < 2:
+        return 0.0
+    damp = 1.0 - n**-eps
+    return k * n ** (1.0 + eps) * math.log(n) / (m * damp * damp)
+
+
+def eim_expected_slowdown(n: int, eps: float = 0.1) -> float:
+    """Predicted EIM-over-MRG runtime ratio: n^eps (1-n^-eps)^-2 log n."""
+    if n < 2:
+        return 1.0
+    if not 0 < eps < 1:
+        raise InvalidParameterError(f"eps must be in (0, 1), got {eps}")
+    damp = 1.0 - n**-eps
+    return n**eps * math.log(n) / (damp * damp)
+
+
+def _check_nk(n: int, k: int) -> None:
+    if n < 0 or k < 0:
+        raise InvalidParameterError(f"n and k must be >= 0 (n={n}, k={k})")
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of the paper's Table 1."""
+
+    algorithm: str
+    approx_factor: str
+    rounds: str
+    runtime: str
+
+
+def table1_rows() -> list[Table1Row]:
+    """The paper's Table 1, verbatim."""
+    return [
+        Table1Row("GON [9]", "2", "n/a", "k*n"),
+        Table1Row("MRG", "4", "2", "k*n/m + k^2*m"),
+        Table1Row(
+            "EIM [8]",
+            "10",
+            "O(1/eps)",
+            "k*n^(1+eps)*log(n) / (m*(1-n^-eps)^2)",
+        ),
+    ]
+
+
+# --------------------------------------------------------------------- #
+# Section 6: the phi feasibility bound, Inequality (2)
+# --------------------------------------------------------------------- #
+def phi_feasible(phi: float, gamma: float = 0.0, b: float = 5.0) -> bool:
+    """Evaluate Inequality (2) for pivot parameter ``phi``.
+
+    Feasible means values of the Chernoff parameters a, c, d exist so the
+    iteration-shrinkage bounds of Lemma 5 hold with probability
+    ``1 - 2 n^-(1+gamma)``, preserving the 10-approximation w.s.p.
+    """
+    if phi <= 0:
+        raise InvalidParameterError(f"phi must be positive, got {phi}")
+    if not 0 < b <= 5.0:
+        raise InvalidParameterError(f"b must be in (0, 5] (paper requires b <= 5), got {b}")
+    if gamma < 0:
+        raise InvalidParameterError(f"gamma must be >= 0, got {gamma}")
+    x = 1.0 + gamma
+    lhs = (phi + x + math.sqrt(2 * x * phi + x * x)) / b
+    rhs = phi + x / 2.0 - math.sqrt(2 * x * phi + x * x / 4.0)
+    return lhs <= rhs
+
+
+def phi_feasibility_threshold(
+    gamma: float = 0.0, b: float = 5.0, tol: float = 1e-9
+) -> float:
+    """Smallest feasible ``phi`` under Inequality (2), by bisection.
+
+    Both sides are continuous and the inequality is monotone in ``phi``
+    for the relevant range (the RHS grows like ``phi`` while the LHS grows
+    like ``phi / b`` with ``b >= 1``), so bisection on a bracket is exact
+    to tolerance.
+    """
+    lo, hi = 1e-9, 1.0
+    while not phi_feasible(hi, gamma=gamma, b=b):
+        hi *= 2.0
+        if hi > 1e9:
+            raise InvalidParameterError(
+                f"no feasible phi below 1e9 for gamma={gamma}, b={b}"
+            )
+    while hi - lo > tol:
+        mid = (lo + hi) / 2.0
+        if phi_feasible(mid, gamma=gamma, b=b):
+            hi = mid
+        else:
+            lo = mid
+    return hi

@@ -1,0 +1,36 @@
+"""Dataset generators and registry (system S7).
+
+Synthetic families exactly as Section 7.3 describes them
+(:mod:`repro.data.synthetic`):
+
+* **UNIF** — n points uniform in a two-dimensional square;
+* **GAU** — k' cluster centers uniform in a cube, points assigned to
+  clusters uniformly at random with Gaussian displacement (sigma = 1/10);
+* **UNB** — like GAU but with roughly half the points in one cluster.
+
+Simulated stand-ins for the two UCI data sets
+(:mod:`repro.data.realistic`), with the substitution rationale in
+DESIGN.md:
+
+* **POKER HAND** — 25,010 hands, 10 integer attributes (5x suit 1-4,
+  rank 1-13);
+* **KDD CUP 1999 (10%)** — heavy-tailed network-connection features with
+  a dominated cluster structure.
+
+:mod:`repro.data.registry` maps experiment-facing names to generators.
+"""
+
+from repro.data.registry import DATASETS, Dataset, make_dataset
+from repro.data.realistic import kddcup99, poker_hand
+from repro.data.synthetic import gau, unb, unif
+
+__all__ = [
+    "Dataset",
+    "DATASETS",
+    "make_dataset",
+    "unif",
+    "gau",
+    "unb",
+    "poker_hand",
+    "kddcup99",
+]

@@ -1,0 +1,137 @@
+"""Simulated stand-ins for the paper's two UCI data sets.
+
+We have no network access, so the real POKER HAND and KDD CUP 1999 files
+cannot be downloaded.  Both are replaced by generators that reproduce the
+*geometry the k-center algorithms actually see* (schema, value ranges,
+scale structure and cluster/outlier composition); DESIGN.md records the
+substitution rationale per the repository's substitution rule.
+
+POKER HAND
+----------
+The UCI training set is 25,010 rows of 10 integer attributes: five cards,
+each a (suit in 1..4, rank in 1..13) pair, dealt without replacement from
+one deck.  :func:`poker_hand` deals exactly such hands.  Euclidean
+distances on this encoding range up to ``sqrt(5 * (3^2 + 12^2)) ~ 27.7``,
+matching the paper's reported solution values (8.4-19.4 over k).
+
+KDD CUP 1999 (10% sample)
+-------------------------
+The real file is 494,021 network connections with 38 numeric features whose
+scales span ten decades (byte counts up to ~10^9) and whose rows are
+dominated by a couple of huge attack clusters (smurf ~57%, neptune ~22%)
+plus rare outlier connections.  Figure 1's log-scale solution values
+(10^4..10^9) are driven by exactly two properties: the heavy-tailed byte
+columns and the dominated cluster structure.  :func:`kddcup99` generates a
+Zipf-weighted mixture of "traffic type" clusters; each cluster fixes a
+log-scale profile for the three byte/duration columns and a profile for the
+bounded count/rate columns, points jitter around it log-normally, and a
+small fraction of extreme-transfer outliers reaches ~10^9 bytes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["poker_hand", "kddcup99", "POKER_N", "KDD_N"]
+
+#: Size of the UCI POKER HAND training set used by the paper.
+POKER_N = 25_010
+#: Size of the KDD CUP 1999 10% sample used by the paper.
+KDD_N = 494_021
+
+
+def poker_hand(n: int = POKER_N, seed: SeedLike = None) -> np.ndarray:
+    """Deal ``n`` five-card hands; return the UCI 10-column encoding.
+
+    Columns are ``(S1, R1, S2, R2, ..., S5, R5)`` with suits in 1..4 and
+    ranks in 1..13; cards within a hand are distinct (dealt from one
+    52-card deck), as in the real data.  Column order within a hand is the
+    deal order, not sorted — again as in the real file.
+    """
+    if n <= 0:
+        raise DatasetError(f"dataset size must be positive, got {n}")
+    rng = as_generator(seed)
+    # Deal 5 distinct card ids in 0..51 per hand, vectorised: draw random
+    # keys and take the positions of the 5 smallest per row.
+    keys = rng.random((n, 52))
+    cards = np.argpartition(keys, 5, axis=1)[:, :5]
+    suits = cards // 13 + 1  # 1..4
+    ranks = cards % 13 + 1  # 1..13
+    out = np.empty((n, 10), dtype=np.float64)
+    out[:, 0::2] = suits
+    out[:, 1::2] = ranks
+    return out
+
+
+def kddcup99(
+    n: int = KDD_N,
+    n_clusters: int = 23,
+    n_features: int = 38,
+    outlier_fraction: float = 2e-4,
+    seed: SeedLike = None,
+    return_labels: bool = False,
+):
+    """Generate an n-point KDD-CUP-like connection table.
+
+    Parameters
+    ----------
+    n:
+        Number of connections (the paper's sample is 494,021; benches
+        default to a scaled-down size — see EXPERIMENTS.md).
+    n_clusters:
+        Number of traffic/attack types (the real data has 23 classes).
+    n_features:
+        Numeric feature count (the real data has 38 numeric columns).
+    outlier_fraction:
+        Fraction of connections given extreme byte counts (up to ~10^9),
+        the rows that dominate the k-center objective at small k.
+    """
+    if n <= 0:
+        raise DatasetError(f"dataset size must be positive, got {n}")
+    if n_clusters <= 1:
+        raise DatasetError(f"n_clusters must be >= 2, got {n_clusters}")
+    if n_features < 4:
+        raise DatasetError(f"n_features must be >= 4, got {n_features}")
+    if not 0.0 <= outlier_fraction < 1.0:
+        raise DatasetError(
+            f"outlier_fraction must be in [0, 1), got {outlier_fraction}"
+        )
+    rng = as_generator(seed)
+
+    # Zipf-like cluster weights: two dominant attack types, a long tail.
+    raw = 1.0 / np.arange(1, n_clusters + 1) ** 1.6
+    weights = raw / raw.sum()
+    labels = rng.choice(n_clusters, size=n, p=weights)
+
+    points = np.empty((n, n_features), dtype=np.float64)
+
+    # --- columns 0..2: duration / src_bytes / dst_bytes (heavy-tailed) ---
+    # Each cluster has a log10-scale profile; points jitter log-normally.
+    log_profile = rng.uniform(0.0, 5.5, size=(n_clusters, 3))  # 1 .. ~3*10^5
+    jitter = rng.normal(0.0, 0.5, size=(n, 3))
+    # Ordinary traffic is capped at 10^7 bytes; only the explicit outlier
+    # rows below exceed it (they are what dominates the small-k objective).
+    points[:, :3] = np.minimum(10.0 ** (log_profile[labels] + jitter), 1e7 - 1.0)
+
+    # --- columns 3..5: connection counts in 0..511 (bounded integers) ---
+    count_profile = rng.uniform(0.0, 511.0, size=(n_clusters, 3))
+    counts = count_profile[labels] + rng.normal(0.0, 10.0, size=(n, 3))
+    points[:, 3:6] = np.clip(np.rint(counts), 0, 511)
+
+    # --- remaining columns: rates/flags in [0, 1] per cluster profile ----
+    rest = n_features - 6
+    rate_profile = rng.uniform(0.0, 1.0, size=(n_clusters, rest))
+    rates = rate_profile[labels] + rng.normal(0.0, 0.05, size=(n, rest))
+    points[:, 6:] = np.clip(rates, 0.0, 1.0)
+
+    # --- extreme-transfer outliers: the 10^7..10^9-byte rows -------------
+    n_out = int(round(outlier_fraction * n))
+    if n_out:
+        which = rng.choice(n, size=n_out, replace=False)
+        col = rng.integers(1, 3, size=n_out)  # src_bytes or dst_bytes
+        points[which, col] = 10.0 ** rng.uniform(7.0, 9.0, size=n_out)
+
+    return (points, labels) if return_labels else points

@@ -1,0 +1,99 @@
+"""Named dataset registry used by the experiment harness and benches.
+
+Every workload in the paper's evaluation maps to a registry name plus
+parameters; :func:`make_dataset` is the single entry point the harness
+calls, returning a :class:`Dataset` (points + provenance metadata).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.data.realistic import kddcup99, poker_hand
+from repro.data.synthetic import gau, unb, unif
+from repro.errors import DatasetError
+from repro.metric.euclidean import EuclideanSpace
+from repro.utils.rng import SeedLike
+
+__all__ = ["Dataset", "DATASETS", "make_dataset"]
+
+
+@dataclass
+class Dataset:
+    """A concrete point set plus the parameters that produced it."""
+
+    name: str
+    points: np.ndarray
+    params: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def n(self) -> int:
+        return self.points.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.points.shape[1]
+
+    def space(self, **kwargs) -> EuclideanSpace:
+        """Euclidean metric space over the points (the paper's setting)."""
+        return EuclideanSpace(self.points, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Dataset({self.name!r}, n={self.n}, dim={self.dim}, params={self.params})"
+
+
+def _make_unif(n: int, seed: SeedLike, **kw) -> np.ndarray:
+    return unif(n, seed=seed, **kw)
+
+
+def _make_gau(n: int, seed: SeedLike, k_prime: int = 25, **kw) -> np.ndarray:
+    return gau(n, k_prime=k_prime, seed=seed, **kw)
+
+
+def _make_unb(n: int, seed: SeedLike, k_prime: int = 25, **kw) -> np.ndarray:
+    return unb(n, k_prime=k_prime, seed=seed, **kw)
+
+
+def _make_poker(n: int, seed: SeedLike, **kw) -> np.ndarray:
+    return poker_hand(n, seed=seed, **kw)
+
+
+def _make_kdd(n: int, seed: SeedLike, **kw) -> np.ndarray:
+    return kddcup99(n, seed=seed, **kw)
+
+
+#: name -> generator(n, seed, **params) -> points
+DATASETS: dict[str, Callable[..., np.ndarray]] = {
+    "unif": _make_unif,
+    "gau": _make_gau,
+    "unb": _make_unb,
+    "poker": _make_poker,
+    "kddcup": _make_kdd,
+}
+
+
+def make_dataset(name: str, n: int, seed: SeedLike = None, **params) -> Dataset:
+    """Instantiate a registered dataset.
+
+    Parameters
+    ----------
+    name:
+        One of ``unif``, ``gau``, ``unb``, ``poker``, ``kddcup``.
+    n:
+        Number of points.
+    seed:
+        Generator seed (experiments derive one per graph instance).
+    params:
+        Family-specific parameters (``k_prime`` for gau/unb, etc.).
+    """
+    try:
+        factory = DATASETS[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown dataset {name!r}; registered: {sorted(DATASETS)}"
+        ) from None
+    points = factory(n, seed, **params)
+    return Dataset(name=name, points=points, params={"n": n, **params})

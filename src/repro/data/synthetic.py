@@ -1,0 +1,126 @@
+"""Synthetic data families from Section 7.3 of the paper.
+
+Scale conventions
+-----------------
+The paper says GAU centers live in a "unit cube" with in-cluster sigma of
+1/10, yet reports GAU solution values like 96.04 (k=2) alongside 0.961
+(k=25): inter-cluster distances on the order of 100 and in-cluster radii on
+the order of 1.  Those magnitudes are only consistent with centers drawn
+from a cube of side ~100 and *absolute* sigma 0.1, so that is our default
+(``scale=100.0``, ``sigma=0.1``); both are parameters.  UNIF's side length
+defaults to 100: Gonzalez at k=2 lands at ~0.9x the side on a uniform
+square, and side 100 reproduces the reported value range (91.3 at k=2
+down to 9.14 at k=100 for n = 10^5) almost exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["unif", "gau", "unb", "clustered_points"]
+
+
+def _check_n(n: int) -> None:
+    if n <= 0:
+        raise DatasetError(f"dataset size must be positive, got {n}")
+
+
+def unif(n: int, side: float = 100.0, dim: int = 2, seed: SeedLike = None) -> np.ndarray:
+    """UNIF: ``n`` points uniform in a ``dim``-dimensional cube of side ``side``.
+
+    The paper uses the two-dimensional square; ``dim`` is exposed for
+    ablations.
+    """
+    _check_n(n)
+    if side <= 0:
+        raise DatasetError(f"side must be positive, got {side}")
+    if dim <= 0:
+        raise DatasetError(f"dim must be positive, got {dim}")
+    rng = as_generator(seed)
+    return rng.uniform(0.0, side, size=(n, dim))
+
+
+def clustered_points(
+    n: int,
+    centers: np.ndarray,
+    weights: np.ndarray,
+    sigma: float,
+    seed: SeedLike = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Points drawn around ``centers`` with mixture ``weights``.
+
+    Returns ``(points, labels)`` where ``labels`` are the generating
+    cluster ids (ground truth for diagnostics; the algorithms never see
+    them).
+    """
+    _check_n(n)
+    centers = np.asarray(centers, dtype=np.float64)
+    if centers.ndim != 2 or not len(centers):
+        raise DatasetError(f"centers must be a non-empty 2-D array, got {centers.shape}")
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (len(centers),) or (weights < 0).any() or weights.sum() == 0:
+        raise DatasetError("weights must be non-negative, one per center, not all zero")
+    if sigma < 0:
+        raise DatasetError(f"sigma must be >= 0, got {sigma}")
+    rng = as_generator(seed)
+    labels = rng.choice(len(centers), size=n, p=weights / weights.sum())
+    points = centers[labels] + rng.normal(0.0, sigma, size=(n, centers.shape[1]))
+    return points, labels
+
+
+def gau(
+    n: int,
+    k_prime: int = 25,
+    dim: int = 3,
+    scale: float = 100.0,
+    sigma: float = 0.1,
+    seed: SeedLike = None,
+    return_labels: bool = False,
+):
+    """GAU: ``k_prime`` uniform cluster centers, balanced Gaussian clusters.
+
+    "The k' cluster centers ... are uniformly randomly generated in a unit
+    cube.  The n points are distributed into these clusters uniformly at
+    random ...  Distance from points to the cluster center follows a
+    Gaussian distribution with sigma = 1/10."  (Section 7.3; see the module
+    docstring for the scale convention.)
+    """
+    _check_n(n)
+    if k_prime <= 0:
+        raise DatasetError(f"k_prime must be positive, got {k_prime}")
+    rng = as_generator(seed)
+    centers = rng.uniform(0.0, scale, size=(k_prime, dim))
+    weights = np.ones(k_prime)
+    points, labels = clustered_points(n, centers, weights, sigma, seed=rng)
+    return (points, labels) if return_labels else points
+
+
+def unb(
+    n: int,
+    k_prime: int = 25,
+    dim: int = 3,
+    scale: float = 100.0,
+    sigma: float = 0.1,
+    heavy_fraction: float = 0.5,
+    seed: SeedLike = None,
+    return_labels: bool = False,
+):
+    """UNB: like GAU but "around half of the points are in a single cluster".
+
+    ``heavy_fraction`` of the mass goes to cluster 0; the remainder is
+    uniform over the other ``k_prime - 1`` clusters.
+    """
+    _check_n(n)
+    if k_prime <= 1:
+        raise DatasetError(f"UNB needs k_prime >= 2, got {k_prime}")
+    if not 0.0 < heavy_fraction < 1.0:
+        raise DatasetError(f"heavy_fraction must be in (0, 1), got {heavy_fraction}")
+    rng = as_generator(seed)
+    centers = rng.uniform(0.0, scale, size=(k_prime, dim))
+    weights = np.full(k_prime, (1.0 - heavy_fraction) / (k_prime - 1))
+    weights[0] = heavy_fraction
+    points, labels = clustered_points(n, centers, weights, sigma, seed=rng)
+    return (points, labels) if return_labels else points

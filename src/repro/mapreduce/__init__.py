@@ -1,0 +1,49 @@
+"""MapReduce simulation substrate (system S2).
+
+The paper evaluates its parallel algorithms by *simulating* MapReduce on a
+single machine: "We simulate the parallel machines sequentially on a single
+machine, taking the longest processing time of the simulated machines as
+the processing time for that MapReduce round" (Section 7.1), and it does
+not charge data movement to the running time.  This package implements that
+methodology exactly, plus the bookkeeping the paper's analysis needs:
+
+* :class:`~repro.mapreduce.cluster.SimulatedCluster` — ``m`` machines of
+  capacity ``c``; executes a round of reducer tasks and records a
+  :class:`~repro.mapreduce.accounting.RoundStats`;
+* :mod:`~repro.mapreduce.partition` — the mapper-side partitioners
+  (block / random / hash) with the size invariant ``|V_i| <= ceil(n/m)``;
+* :mod:`~repro.mapreduce.model` — the Karloff-et-al-style capacity
+  arithmetic from Section 3 (two-round feasibility, the Eq. (1) machine
+  recurrence, round counts for the multi-round regime);
+* :mod:`~repro.mapreduce.executor` — sequential (default, faithful to the
+  paper) and process-pool (real multicore) task executors.
+"""
+
+from repro.mapreduce.accounting import JobStats, RoundStats
+from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.executor import ProcessPoolExecutorBackend, SequentialExecutor
+from repro.mapreduce.job import MapReduceJob, MapReduceRound
+from repro.mapreduce.model import (
+    machines_after_rounds,
+    mrg_approximation_factor,
+    mrg_feasible_two_rounds,
+    mrg_rounds_needed,
+)
+from repro.mapreduce.partition import block_partition, hash_partition, random_partition
+
+__all__ = [
+    "SimulatedCluster",
+    "RoundStats",
+    "JobStats",
+    "MapReduceJob",
+    "MapReduceRound",
+    "SequentialExecutor",
+    "ProcessPoolExecutorBackend",
+    "block_partition",
+    "random_partition",
+    "hash_partition",
+    "mrg_feasible_two_rounds",
+    "mrg_rounds_needed",
+    "mrg_approximation_factor",
+    "machines_after_rounds",
+]

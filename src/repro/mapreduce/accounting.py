@@ -1,0 +1,115 @@
+"""Per-round and per-job cost accounting.
+
+Two cost notions coexist, mirroring the paper:
+
+* **simulated parallel time** — per round, the *maximum* wall-clock time of
+  any reducer task (Section 7.1's methodology); summed over rounds it is
+  the headline "Runtime" of Figures 2–4 and Table 7;
+* **total CPU time** — the sum over reducers, i.e. what one sequential
+  machine would pay; the MRG-vs-GON speedup in the paper is precisely
+  simulated-parallel vs total-sequential.
+
+We additionally track shuffle volume (elements moved between rounds) and
+scalar distance evaluations (via :class:`repro.metric.base.DistCounter`),
+which the paper's Section 5 analysis counts; neither is charged to time,
+matching the paper ("we ... do not record the cost of moving data between
+machines").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RoundStats", "JobStats"]
+
+
+@dataclass
+class RoundStats:
+    """Costs of one MapReduce round."""
+
+    label: str
+    #: Wall-clock seconds per reducer task, in task order.
+    task_times: list[float] = field(default_factory=list)
+    #: Input elements per reducer task (for capacity audits).
+    task_sizes: list[int] = field(default_factory=list)
+    #: Elements shuffled into this round by the mapper.
+    shuffle_elements: int = 0
+    #: Scalar distance evaluations performed during this round.
+    dist_evals: int = 0
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.task_times)
+
+    @property
+    def parallel_time(self) -> float:
+        """Simulated parallel time: the slowest reducer's wall-clock."""
+        return max(self.task_times) if self.task_times else 0.0
+
+    @property
+    def cpu_time(self) -> float:
+        """Total CPU time: the sum over reducers."""
+        return float(sum(self.task_times))
+
+    @property
+    def max_task_size(self) -> int:
+        return max(self.task_sizes) if self.task_sizes else 0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RoundStats({self.label!r}: {self.n_tasks} tasks, "
+            f"parallel {self.parallel_time:.4g}s, cpu {self.cpu_time:.4g}s, "
+            f"shuffle {self.shuffle_elements}, dist_evals {self.dist_evals})"
+        )
+
+
+@dataclass
+class JobStats:
+    """Accumulated costs of a multi-round MapReduce job."""
+
+    rounds: list[RoundStats] = field(default_factory=list)
+
+    def add(self, round_stats: RoundStats) -> RoundStats:
+        self.rounds.append(round_stats)
+        return round_stats
+
+    @property
+    def n_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def parallel_time(self) -> float:
+        """Simulated parallel job time: sum over rounds of the slowest task."""
+        return float(sum(r.parallel_time for r in self.rounds))
+
+    @property
+    def cpu_time(self) -> float:
+        return float(sum(r.cpu_time for r in self.rounds))
+
+    @property
+    def shuffle_elements(self) -> int:
+        return int(sum(r.shuffle_elements for r in self.rounds))
+
+    @property
+    def dist_evals(self) -> int:
+        return int(sum(r.dist_evals for r in self.rounds))
+
+    @property
+    def max_machine_load(self) -> int:
+        """Largest single-reducer input across the whole job."""
+        return max((r.max_task_size for r in self.rounds), default=0)
+
+    def merged(self, other: "JobStats") -> "JobStats":
+        """New JobStats with this job's rounds followed by ``other``'s."""
+        return JobStats(rounds=[*self.rounds, *other.rounds])
+
+    def summary(self) -> dict:
+        """Flat dict of headline numbers (used by the experiment harness)."""
+        return {
+            "rounds": self.n_rounds,
+            "parallel_time": self.parallel_time,
+            "cpu_time": self.cpu_time,
+            "shuffle_elements": self.shuffle_elements,
+            "dist_evals": self.dist_evals,
+            "max_machine_load": self.max_machine_load,
+        }

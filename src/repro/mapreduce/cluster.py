@@ -1,0 +1,125 @@
+"""The simulated MapReduce cluster.
+
+A :class:`SimulatedCluster` is ``m`` machines of capacity ``c`` elements.
+Algorithms submit *rounds*: a list of reducer tasks, each declaring its
+input size.  The cluster
+
+* enforces the capacity constraint per task (a task whose declared input
+  exceeds ``c`` raises :class:`~repro.errors.CapacityError` — this is the
+  mechanism that forces MRG into its multi-round regime);
+* refuses rounds with more tasks than machines;
+* wall-clocks every task through its :class:`Executor` and records a
+  :class:`~repro.mapreduce.accounting.RoundStats` whose ``parallel_time``
+  is the slowest task (paper Section 7.1);
+* attributes distance-evaluation deltas to the round when given a
+  :class:`~repro.metric.base.DistCounter` to watch.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.errors import CapacityError, InvalidParameterError
+from repro.mapreduce.accounting import JobStats, RoundStats
+from repro.mapreduce.executor import Executor, SequentialExecutor
+from repro.metric.base import DistCounter
+
+__all__ = ["SimulatedCluster"]
+
+
+class SimulatedCluster:
+    """``m`` simulated machines of per-machine capacity ``c``.
+
+    Parameters
+    ----------
+    m:
+        Number of machines (the paper fixes m = 50 in its experiments).
+    capacity:
+        Per-machine capacity in *elements* (points).  ``None`` means
+        unbounded — useful for unit tests of the round mechanics.
+    executor:
+        Task execution backend; defaults to the faithful sequential one.
+    dist_counter:
+        When provided, the cluster snapshots the counter around each round
+        and attributes the delta to that round's stats.
+    """
+
+    def __init__(
+        self,
+        m: int,
+        capacity: int | None = None,
+        executor: Executor | None = None,
+        dist_counter: DistCounter | None = None,
+    ):
+        if m <= 0:
+            raise InvalidParameterError(f"machine count must be positive, got {m}")
+        if capacity is not None and capacity <= 0:
+            raise InvalidParameterError(f"capacity must be positive, got {capacity}")
+        self.m = int(m)
+        self.capacity = None if capacity is None else int(capacity)
+        self.executor: Executor = executor if executor is not None else SequentialExecutor()
+        self.dist_counter = dist_counter
+        self.stats = JobStats()
+
+    # ------------------------------------------------------------------ #
+    def check_fits(self, size: int, what: str = "input") -> None:
+        """Raise :class:`CapacityError` if ``size`` exceeds one machine."""
+        if self.capacity is not None and size > self.capacity:
+            raise CapacityError(
+                f"{what} of {size} elements exceeds machine capacity {self.capacity}"
+            )
+
+    def run_round(
+        self,
+        label: str,
+        tasks: Sequence[Callable[[], Any]],
+        task_sizes: Sequence[int],
+        shuffle_elements: int | None = None,
+    ) -> list[Any]:
+        """Execute one MapReduce round; record stats; return task results.
+
+        Parameters
+        ----------
+        label:
+            Human-readable round name ("mrg.round1", "eim.sample", ...).
+        tasks:
+            Zero-argument reducer callables, one per participating machine.
+        task_sizes:
+            Declared input sizes (elements) per task; checked against
+            capacity *before* any task runs, so a capacity violation never
+            leaves partial work recorded.
+        shuffle_elements:
+            Elements moved by the mapper into this round; defaults to the
+            sum of task sizes.
+        """
+        if len(tasks) != len(task_sizes):
+            raise InvalidParameterError(
+                f"{len(tasks)} tasks but {len(task_sizes)} sizes for round {label!r}"
+            )
+        if len(tasks) > self.m:
+            raise CapacityError(
+                f"round {label!r} needs {len(tasks)} machines but the cluster has {self.m}"
+            )
+        for size in task_sizes:
+            self.check_fits(int(size), what=f"round {label!r} task input")
+
+        evals_before = self.dist_counter.evals if self.dist_counter else 0
+        results, times = self.executor.run(tasks)
+        evals_after = self.dist_counter.evals if self.dist_counter else 0
+
+        self.stats.add(
+            RoundStats(
+                label=label,
+                task_times=list(times),
+                task_sizes=[int(s) for s in task_sizes],
+                shuffle_elements=(
+                    int(sum(task_sizes)) if shuffle_elements is None else int(shuffle_elements)
+                ),
+                dist_evals=evals_after - evals_before,
+            )
+        )
+        return results
+
+    def reset_stats(self) -> None:
+        """Discard accumulated job statistics (the machine pool is reusable)."""
+        self.stats = JobStats()

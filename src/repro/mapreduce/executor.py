@@ -1,0 +1,77 @@
+"""Task executors: how a round's reducer tasks actually run.
+
+:class:`SequentialExecutor` (default) reproduces the paper's methodology —
+tasks run one after another on the driver, each individually wall-clocked;
+the round's *simulated parallel* time is the max.  This is also the honest
+choice under CPython's GIL (repro note: "GIL hampers true multicore
+speedup measurement"): simulated timing measures algorithmic work, not
+interpreter contention.
+
+:class:`ProcessPoolExecutorBackend` runs tasks in worker processes for real
+multicore execution.  Tasks must then be picklable top-level callables; the
+per-task times it reports include IPC overhead, so it is *not* used for the
+paper-reproduction benches — it exists for downstream users with many cores
+and large shards, where the BLAS-bound kernels dominate pickling costs.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Protocol, Sequence
+
+__all__ = ["Executor", "SequentialExecutor", "ProcessPoolExecutorBackend", "run_task"]
+
+
+class Executor(Protocol):
+    """Runs a batch of zero-argument tasks; returns (results, seconds) lists."""
+
+    def run(
+        self, tasks: Sequence[Callable[[], Any]]
+    ) -> tuple[list[Any], list[float]]: ...
+
+
+def run_task(task: Callable[[], Any]) -> tuple[Any, float]:
+    """Execute one task, returning ``(result, wall_seconds)``."""
+    t0 = time.perf_counter()
+    result = task()
+    return result, time.perf_counter() - t0
+
+
+class SequentialExecutor:
+    """Run tasks one by one on the calling thread (paper methodology)."""
+
+    def run(
+        self, tasks: Sequence[Callable[[], Any]]
+    ) -> tuple[list[Any], list[float]]:
+        results: list[Any] = []
+        times: list[float] = []
+        for task in tasks:
+            result, seconds = run_task(task)
+            results.append(result)
+            times.append(seconds)
+        return results, times
+
+
+class ProcessPoolExecutorBackend:
+    """Run tasks in a process pool (real parallelism; tasks must pickle).
+
+    Parameters
+    ----------
+    max_workers:
+        Worker process count; ``None`` lets the pool pick (CPU count).
+    """
+
+    def __init__(self, max_workers: int | None = None):
+        self.max_workers = max_workers
+
+    def run(
+        self, tasks: Sequence[Callable[[], Any]]
+    ) -> tuple[list[Any], list[float]]:
+        if not tasks:
+            return [], []
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            out = list(pool.map(run_task, tasks))
+        results = [r for r, _ in out]
+        times = [t for _, t in out]
+        return results, times

@@ -1,0 +1,103 @@
+"""Declarative MapReduce jobs.
+
+The algorithm implementations in :mod:`repro.core` drive a
+:class:`~repro.mapreduce.cluster.SimulatedCluster` imperatively (the rounds
+of MRG and EIM are data-dependent).  For users building *their own*
+MapReduce computations on this substrate — and to mirror the map/reduce
+structure of Karloff et al.'s model explicitly — this module offers a small
+declarative layer: a job is a sequence of rounds, each a ``partition``
+function (the mapper) plus a ``reduce`` function, threaded over a state
+value.
+
+Example
+-------
+One round of per-shard Gonzalez (the heart of MRG) is::
+
+    round1 = MapReduceRound(
+        label="per-shard-gonzalez",
+        partition=lambda idx, m, rng: block_partition(len(idx), m),
+        reduce=lambda shard_idx, rng: gonzalez_local(space, shard_idx, k),
+    )
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.mapreduce.cluster import SimulatedCluster
+from repro.utils.rng import SeedLike, SeedStream
+
+__all__ = ["MapReduceRound", "MapReduceJob"]
+
+#: partition(state, m, rng) -> list of per-machine payloads
+PartitionFn = Callable[[Any, int, np.random.Generator], Sequence[Any]]
+#: reduce(payload, rng) -> per-machine result
+ReduceFn = Callable[[Any, np.random.Generator], Any]
+#: combine(list of per-machine results) -> next state
+CombineFn = Callable[[list[Any]], Any]
+
+
+def _default_combine(results: list[Any]) -> Any:
+    return results
+
+
+@dataclass
+class MapReduceRound:
+    """One mapper/reducer round.
+
+    ``size_of`` declares a payload's element count for capacity accounting;
+    the default uses ``len`` and falls back to 1 for unsized payloads.
+    """
+
+    label: str
+    partition: PartitionFn
+    reduce: ReduceFn
+    combine: CombineFn = _default_combine
+    size_of: Callable[[Any], int] = lambda payload: (
+        len(payload) if hasattr(payload, "__len__") else 1
+    )
+
+
+class MapReduceJob:
+    """A sequence of rounds executed on a simulated cluster."""
+
+    def __init__(self, rounds: Sequence[MapReduceRound]):
+        if not rounds:
+            raise InvalidParameterError("a MapReduce job needs at least one round")
+        self.rounds = list(rounds)
+
+    def run(
+        self,
+        cluster: SimulatedCluster,
+        initial_state: Any,
+        seed: SeedLike = None,
+    ) -> Any:
+        """Thread ``initial_state`` through every round; return final state.
+
+        Each round draws *fresh* child RNGs — one per machine plus one for
+        the mapper — from a stateful seed stream, so rounds are mutually
+        independent yet the whole job is deterministic in the master seed
+        regardless of executor backend.
+        """
+        state = initial_state
+        seeds = SeedStream(seed)
+        for rnd in self.rounds:
+            mapper_rng, *machine_rngs = seeds.generators(cluster.m + 1)
+            payloads = list(rnd.partition(state, cluster.m, mapper_rng))
+            if len(payloads) > cluster.m:
+                raise InvalidParameterError(
+                    f"round {rnd.label!r} produced {len(payloads)} payloads "
+                    f"for {cluster.m} machines"
+                )
+            tasks = [
+                (lambda p=payload, r=machine_rngs[i]: rnd.reduce(p, r))
+                for i, payload in enumerate(payloads)
+            ]
+            sizes = [rnd.size_of(p) for p in payloads]
+            results = cluster.run_round(rnd.label, tasks, sizes)
+            state = rnd.combine(results)
+        return state

@@ -1,0 +1,129 @@
+"""Capacity arithmetic from Section 3 of the paper.
+
+These functions encode, as checkable code, the paper's statements about
+when MRG runs in two rounds, how many machines are needed after each
+round, and how the approximation factor degrades with extra rounds:
+
+* two-round feasibility: ``n/m <= c`` and ``k*m <= c`` (Lemma 2);
+* the machine recurrence, Eq. (1):
+  ``m(i) <= m * (k/c)^i + (1 - (k/c)^i) / (1 - k/c)``,
+  with the final round runnable once ``m(i) < 2``;
+* approximation factor ``2 * (i + 1)`` for an ``i``-round schedule
+  (Lemma 3), i.e. 4 for the standard two-round case;
+* the hard requirement ``k <= c`` — without it "selecting k centers from
+  a single machine seems to require incorporating external memory".
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import CapacityError, InvalidParameterError
+
+__all__ = [
+    "validate_cluster",
+    "mrg_feasible_two_rounds",
+    "machines_after_rounds",
+    "mrg_rounds_needed",
+    "mrg_approximation_factor",
+    "default_capacity",
+]
+
+
+def validate_cluster(n: int, k: int, m: int, c: int) -> None:
+    """Raise unless an MRG schedule can exist at all.
+
+    Requirements (Section 3.2–3.3): the cluster must be able to hold the
+    input (``m*c >= n``), each machine must be able to hold its shard
+    (``n/m <= c`` after the mapper's balanced split), and ``k <= c`` so the
+    final Gonzalez round fits on one machine.
+    """
+    if n < 0 or k < 0:
+        raise InvalidParameterError(f"n and k must be >= 0 (n={n}, k={k})")
+    if m <= 0 or c <= 0:
+        raise InvalidParameterError(f"m and c must be positive (m={m}, c={c})")
+    if m * c < n:
+        raise CapacityError(
+            f"cluster too small: m*c = {m * c} < n = {n}; "
+            "there is insufficient space across the machines to store the data set"
+        )
+    if math.ceil(n / m) > c:
+        raise CapacityError(
+            f"shard too large: ceil(n/m) = {math.ceil(n / m)} > c = {c}"
+        )
+    if k > c:
+        raise CapacityError(
+            f"k = {k} > c = {c}: the final round cannot select k centers on a "
+            "single machine without external memory (paper, Section 3.3)"
+        )
+
+
+def mrg_feasible_two_rounds(n: int, k: int, m: int, c: int) -> bool:
+    """Lemma 2's condition: two rounds suffice iff n/m <= c and k*m <= c."""
+    return math.ceil(n / m) <= c and k * m <= c
+
+
+def machines_after_rounds(m: int, k: int, c: int, i: int) -> float:
+    """Upper bound on machines needed after ``i`` reduction rounds, Eq. (1).
+
+    ``m(i) <= m * (k/c)^i + (1 - (k/c)^i) / (1 - k/c)``.  For ``k == c``
+    the geometric sum degenerates to ``m + i`` (the limit of the formula).
+    """
+    if i < 0:
+        raise InvalidParameterError(f"round count must be >= 0, got {i}")
+    if c <= 0 or m <= 0:
+        raise InvalidParameterError("m and c must be positive")
+    rho = k / c
+    if rho == 1.0:
+        return float(m + i)
+    return m * rho**i + (1.0 - rho**i) / (1.0 - rho)
+
+
+def mrg_rounds_needed(n: int, k: int, m: int, c: int, max_rounds: int = 64) -> int:
+    """Total MapReduce rounds an MRG schedule needs (including the final one).
+
+    Returns 2 in the standard regime.  In the multi-round regime (k*m > c)
+    it iterates Eq. (1) until ``m(i) < 2`` — i.e. the surviving centers fit
+    on one machine — and returns ``i + 1``.  Per the paper's analysis this
+    converges only if ``2k < c`` (the geometric tail must dip below 2);
+    otherwise a :class:`CapacityError` is raised.
+    """
+    validate_cluster(n, k, m, c)
+    if mrg_feasible_two_rounds(n, k, m, c):
+        return 2
+    for i in range(1, max_rounds + 1):
+        if machines_after_rounds(m, k, c, i) < 2.0:
+            return i + 1
+    raise CapacityError(
+        f"MRG cannot converge: with k={k}, c={c} the per-round center "
+        f"reduction never fits one machine (need 2k < c; 2k = {2 * k})"
+    )
+
+
+def mrg_approximation_factor(total_rounds: int) -> int:
+    """Approximation factor of an MRG schedule with ``total_rounds`` rounds.
+
+    ``i`` reduction rounds plus the final round give ``2*(i+1)``; in the
+    paper's notation a 2-round schedule (i=1) is a 4-approximation and each
+    additional round adds 2.
+    """
+    if total_rounds < 2:
+        raise InvalidParameterError(
+            f"an MRG schedule has at least 2 rounds, got {total_rounds}"
+        )
+    return 2 * total_rounds
+
+
+def default_capacity(n: int, k: int, m: int) -> int:
+    """A capacity making the two-round regime just feasible.
+
+    The paper sets capacity implicitly ("Assume that we have m machines
+    each with capacity c" with n/m <= c and k*m <= c); experiments fix m=50
+    and never hit the capacity wall.  This helper returns
+    ``max(ceil(n/m), k*m)`` — the smallest c for which Lemma 2 applies —
+    and is the default used by :class:`repro.core.mrg.MRG` when the caller
+    does not specify c.
+    """
+    if m <= 0:
+        raise InvalidParameterError(f"m must be positive, got {m}")
+    return max(math.ceil(n / m) if n else 1, k * m, 1)

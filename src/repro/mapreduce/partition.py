@@ -1,0 +1,90 @@
+"""Mapper-side partitioners.
+
+MRG's first round "arbitrarily partitions V into sets V_1..V_m such that
+the union covers V and |V_i| <= ceil(n/m)" (Algorithm 1, line 3).  All
+partitioners here guarantee that invariant: the returned index arrays are
+disjoint, cover ``range(n)``, and each has at most ``ceil(n/m)`` elements.
+
+Three strategies are provided because the *choice* is adversarially
+relevant (the paper's future-work section notes the factor-4 bound is tight
+under adversarial assignment): ``block`` is the arbitrary/deterministic
+choice, ``random`` destroys adversarial structure, ``hash`` is the
+stateless-mapper choice a real MapReduce deployment would use.
+``bench_ablation_partition.py`` measures the quality impact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["block_partition", "random_partition", "hash_partition", "PARTITIONERS"]
+
+
+def _check(n: int, m: int) -> None:
+    if n < 0:
+        raise InvalidParameterError(f"n must be >= 0, got {n}")
+    if m <= 0:
+        raise InvalidParameterError(f"m must be positive, got {m}")
+
+
+def block_partition(n: int, m: int) -> list[np.ndarray]:
+    """Contiguous blocks; block sizes differ by at most one.
+
+    Deterministic and order-preserving — the "arbitrary" partition of
+    Algorithm 1 as a real system would implement it for pre-sharded input.
+    """
+    _check(n, m)
+    bounds = np.linspace(0, n, m + 1).astype(np.intp)
+    return [np.arange(bounds[i], bounds[i + 1], dtype=np.intp) for i in range(m)]
+
+
+def random_partition(n: int, m: int, seed: SeedLike = None) -> list[np.ndarray]:
+    """Uniformly random balanced partition (shuffle, then block-split)."""
+    _check(n, m)
+    rng = as_generator(seed)
+    perm = rng.permutation(n).astype(np.intp, copy=False)
+    bounds = np.linspace(0, n, m + 1).astype(np.intp)
+    return [np.sort(perm[bounds[i] : bounds[i + 1]]) for i in range(m)]
+
+
+def hash_partition(n: int, m: int, salt: int = 0) -> list[np.ndarray]:
+    """Stateless hash partition: point ``i`` goes to machine ``h(i) mod m``.
+
+    Uses a splitmix64-style integer mix so machine loads are balanced in
+    expectation; loads may exceed ``ceil(n/m)`` slightly, so the strict
+    size invariant is enforced by spilling round-robin — matching how a
+    real mapper with a combiner cap would behave.
+    """
+    _check(n, m)
+    idx = np.arange(n, dtype=np.uint64) + np.uint64(salt)
+    # splitmix64 finaliser
+    z = idx + np.uint64(0x9E3779B97F4A7C15)
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    z = z ^ (z >> np.uint64(31))
+    assign = (z % np.uint64(m)).astype(np.intp)
+
+    cap = -(-n // m) if n else 0
+    parts: list[list[int]] = [[] for _ in range(m)]
+    spill: list[int] = []
+    for i, a in enumerate(assign):
+        if len(parts[a]) < cap:
+            parts[a].append(i)
+        else:
+            spill.append(i)
+    j = 0
+    for i in spill:
+        while len(parts[j]) >= cap:
+            j += 1
+        parts[j].append(i)
+    return [np.asarray(p, dtype=np.intp) for p in parts]
+
+
+PARTITIONERS = {
+    "block": block_partition,
+    "random": random_partition,
+    "hash": hash_partition,
+}

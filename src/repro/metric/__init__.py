@@ -1,0 +1,45 @@
+"""Metric-space substrate (system S1).
+
+The paper computes Euclidean distances *on demand* ("a matrix representation
+of a graph, with all distances stored explicitly, might result in a
+significant proportion of the data ... being unnecessary", Section 7.2).
+This package provides exactly that: metric spaces over point arrays whose
+pairwise-distance work runs through bounded-memory, BLAS-friendly block
+kernels, never materialising an ``n x n`` matrix.
+
+Public types
+------------
+:class:`~repro.metric.base.MetricSpace`
+    Abstract interface used by every algorithm in :mod:`repro.core`.
+:class:`~repro.metric.euclidean.EuclideanSpace`
+    Dense-coordinate Euclidean space with a ``x^2 + y^2 - 2 x.y`` GEMM
+    fast path; the space used in all paper experiments.
+:class:`~repro.metric.minkowski.MinkowskiSpace`
+    L1 / L-infinity / general-p spaces (block ``cdist`` path).
+:class:`~repro.metric.precomputed.PrecomputedSpace`
+    Explicit distance matrix — for tiny oracles and metric-axiom tests.
+"""
+
+from repro.metric.base import MetricSpace
+from repro.metric.euclidean import EuclideanSpace
+from repro.metric.kernels import (
+    min_dists,
+    pairwise_dists,
+    sq_dists_block,
+    update_min_dists,
+)
+from repro.metric.minkowski import MinkowskiSpace
+from repro.metric.precomputed import PrecomputedSpace
+from repro.metric.validation import check_metric_axioms
+
+__all__ = [
+    "MetricSpace",
+    "EuclideanSpace",
+    "MinkowskiSpace",
+    "PrecomputedSpace",
+    "check_metric_axioms",
+    "sq_dists_block",
+    "pairwise_dists",
+    "min_dists",
+    "update_min_dists",
+]

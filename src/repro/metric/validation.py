@@ -1,0 +1,79 @@
+"""Metric-axiom checking.
+
+Every approximation bound reproduced from the paper (GON's factor 2, MRG's
+factor 4 / 2(i+1), EIM's factor 10) is a *metric* result: it holds exactly
+when the dissimilarity obeys identity, symmetry and the triangle
+inequality.  This module provides an O(n^2 d + n^3) checker used by the test
+suite (and available to users who bring their own
+:class:`~repro.metric.precomputed.PrecomputedSpace`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MetricError
+from repro.metric.base import MetricSpace
+
+__all__ = ["check_metric_axioms"]
+
+
+def check_metric_axioms(
+    space: MetricSpace,
+    max_points: int = 512,
+    rtol: float = 1e-9,
+    atol: float = 1e-6,
+    raise_on_failure: bool = True,
+) -> bool:
+    """Verify the metric axioms on (a prefix of) a space.
+
+    Checks, for all i, j, l among the first ``min(n, max_points)`` points:
+
+    * non-negativity and zero self-distance;
+    * symmetry ``d(i, j) == d(j, i)``;
+    * triangle inequality ``d(i, l) <= d(i, j) + d(j, l)`` (with tolerance).
+
+    The default ``atol`` accommodates the GEMM-expansion round-off of
+    :mod:`repro.metric.kernels` (a few ulps of the squared coordinate
+    magnitude); tighten it for exactly-representable precomputed matrices,
+    or scale it up for coordinates much larger than ~10^3.
+
+    Returns ``True`` when all hold; raises :class:`MetricError` (or returns
+    ``False`` when ``raise_on_failure=False``) otherwise.
+    """
+    n = min(space.n, max_points)
+    if n == 0:
+        return True
+    idx = np.arange(n, dtype=np.intp)
+    d = space.cross(idx, idx)
+
+    def fail(msg: str) -> bool:
+        if raise_on_failure:
+            raise MetricError(msg)
+        return False
+
+    if not np.isfinite(d).all():
+        return fail("distances contain non-finite values")
+    if (d < -atol).any():
+        return fail("negative distances found")
+    diag = np.abs(np.diag(d))
+    if (diag > atol).any():
+        return fail(f"non-zero self-distance (max {diag.max():.3g})")
+    asym = np.abs(d - d.T)
+    tol = atol + rtol * np.maximum(np.abs(d), np.abs(d.T))
+    if (asym > tol).any():
+        return fail(f"asymmetry up to {asym.max():.3g} found")
+
+    # Triangle inequality via one matmul-free broadcast per intermediate j:
+    # d[i, l] <= d[i, j] + d[j, l].  O(n^3) but n <= max_points.
+    for j in range(n):
+        bound = d[:, j][:, None] + d[j, :][None, :]
+        violation = d - bound
+        worst = violation.max()
+        if worst > atol + rtol * max(1.0, float(d.max())):
+            i, l = np.unravel_index(violation.argmax(), violation.shape)
+            return fail(
+                "triangle inequality violated: "
+                f"d({i},{l})={d[i, l]:.6g} > d({i},{j})+d({j},{l})={bound[i, l]:.6g}"
+            )
+    return True

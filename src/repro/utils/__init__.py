@@ -1,0 +1,26 @@
+"""Shared utilities: RNG discipline, timing, chunk iteration, tables.
+
+These helpers encode the HPC-Python idioms used throughout the package:
+
+* deterministic, spawnable random streams (:mod:`repro.utils.rng`);
+* wall-clock timers with negligible overhead (:mod:`repro.utils.timing`);
+* bounded-memory block iteration for cache-friendly kernels
+  (:mod:`repro.utils.chunking`);
+* plain-text table rendering for benchmark reports
+  (:mod:`repro.utils.tables`).
+"""
+
+from repro.utils.chunking import chunk_slices, resolve_chunk_size
+from repro.utils.rng import as_generator, spawn_generators, spawn_seeds
+from repro.utils.tables import format_table
+from repro.utils.timing import Timer
+
+__all__ = [
+    "Timer",
+    "as_generator",
+    "spawn_generators",
+    "spawn_seeds",
+    "chunk_slices",
+    "resolve_chunk_size",
+    "format_table",
+]

@@ -1,0 +1,77 @@
+"""Plain-text table rendering for benchmark and experiment reports.
+
+The benchmark harness regenerates every table of the paper as an aligned
+ASCII table (optionally GitHub-flavoured markdown) so the console output can
+be compared side-by-side with the published numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table", "format_value"]
+
+
+def format_value(value: Any, sig: int = 4) -> str:
+    """Format a cell like the paper does: ~4 significant figures.
+
+    The paper prints e.g. ``96.04``, ``0.961``, ``9.144`` — i.e. four
+    significant digits with no exponent for moderate magnitudes.  Integers
+    and strings pass through unchanged.
+    """
+    if isinstance(value, bool) or value is None:
+        return str(value)
+    if isinstance(value, str):
+        return value
+    if isinstance(value, int):
+        return str(value)
+    try:
+        x = float(value)
+    except (TypeError, ValueError):
+        return str(value)
+    if x != x:  # NaN
+        return "nan"
+    if x == 0:
+        return "0.000"
+    ax = abs(x)
+    if ax >= 1e6 or ax < 1e-3:
+        return f"{x:.{sig - 1}e}"
+    from math import floor, log10
+
+    decimals = max(0, sig - 1 - floor(log10(ax)))
+    return f"{x:.{decimals}f}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+    markdown: bool = False,
+    sig: int = 4,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned text table."""
+    str_rows = [[format_value(cell, sig=sig) for cell in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        body = " | ".join(c.rjust(w) for c, w in zip(cells, widths))
+        return f"| {body} |" if markdown else body
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    if markdown:
+        lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    else:
+        lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metric.euclidean import EuclideanSpace
+from repro.metric.precomputed import PrecomputedSpace
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_points(rng) -> np.ndarray:
+    """60 points in 3 well-separated planar clusters."""
+    centers = np.array([[0.0, 0.0], [10.0, 0.0], [5.0, 8.0]])
+    pts = np.concatenate(
+        [c + rng.normal(0, 0.4, size=(20, 2)) for c in centers]
+    )
+    return pts
+
+
+@pytest.fixture
+def small_space(small_points) -> EuclideanSpace:
+    return EuclideanSpace(small_points)
+
+
+@pytest.fixture
+def tiny_space(rng) -> EuclideanSpace:
+    """12 random points — small enough for the exact oracle at k <= 4."""
+    return EuclideanSpace(rng.normal(size=(12, 2)))
+
+
+@pytest.fixture
+def line_space() -> PrecomputedSpace:
+    """5 points on a line at positions 0, 1, 2, 4, 8 (easy to reason about)."""
+    pos = np.array([0.0, 1.0, 2.0, 4.0, 8.0])
+    return PrecomputedSpace(np.abs(pos[:, None] - pos[None, :]))

@@ -1,0 +1,85 @@
+"""Unit tests for the per-experiment configurations."""
+
+import pytest
+
+from repro.analysis.configs import (
+    EXPERIMENT_IDS,
+    experiment_config,
+    figure4_n_grid,
+    resolve_scale,
+)
+from repro.analysis.paper import PAPER_K_GRID
+from repro.errors import ExperimentError
+
+
+class TestResolveScale:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert resolve_scale() == "default"
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert resolve_scale() == "paper"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert resolve_scale("default") == "default"
+
+    def test_invalid(self):
+        with pytest.raises(ExperimentError):
+            resolve_scale("huge")
+
+
+class TestExperimentConfigs:
+    @pytest.mark.parametrize("exp", sorted(EXPERIMENT_IDS))
+    def test_all_ids_build(self, exp):
+        spec = experiment_config(exp, scale="default")
+        assert spec.n > 0
+        assert spec.algorithms
+
+    def test_unknown_id(self):
+        with pytest.raises(ExperimentError, match="unknown experiment"):
+            experiment_config("table99")
+
+    def test_paper_scale_sizes(self):
+        assert experiment_config("table2", scale="paper").n == 1_000_000
+        assert experiment_config("table2", scale="default").n < 1_000_000
+
+    def test_table5_full_size_at_both_scales(self):
+        # Poker Hand is small; we keep the real size even at default scale.
+        assert experiment_config("table5", scale="default").n == 25_010
+        assert experiment_config("table5", scale="paper").n == 25_010
+
+    def test_figure3b_keeps_paper_n(self):
+        # Small-n fallback is the figure's point: n = 50,000 at both scales.
+        assert experiment_config("figure3b", scale="default").n == 50_000
+        assert experiment_config("figure3b", scale="paper").n == 50_000
+
+    def test_k_grids(self):
+        assert tuple(experiment_config("table3").ks) == PAPER_K_GRID
+        assert experiment_config("figure4a").ks == [10]
+        assert experiment_config("figure4b").ks == [100]
+
+    def test_paper_protocol_repeats(self):
+        spec = experiment_config("table2", scale="paper")
+        assert (spec.n_instances, spec.n_runs) == (3, 2)
+        real = experiment_config("table5", scale="paper")
+        assert (real.n_instances, real.n_runs) == (1, 4)
+
+    def test_phi_experiments_have_four_algorithms(self):
+        spec = experiment_config("table6")
+        assert len(spec.algorithms) == 4
+        assert {a.name for a in spec.algorithms} == {
+            "EIM(phi=1)", "EIM(phi=4)", "EIM(phi=6)", "EIM(phi=8)"
+        }
+
+    def test_gau_experiments_carry_k_prime(self):
+        assert experiment_config("table2").dataset_params["k_prime"] == 25
+        assert experiment_config("figure3a").dataset_params["k_prime"] == 50
+
+    def test_figure4_n_grid(self):
+        default = figure4_n_grid("default")
+        paper = figure4_n_grid("paper")
+        assert default == sorted(default)
+        assert paper[-1] == 1_000_000
+        assert default[-1] < paper[-1]

@@ -1,0 +1,124 @@
+"""Unit tests for the experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    AlgorithmSpec,
+    ExperimentSpec,
+    RunRecord,
+    aggregate,
+    eim_spec,
+    gon_spec,
+    mrg_spec,
+    run_experiment,
+)
+from repro.errors import ExperimentError
+
+
+def _spec(**kw):
+    defaults = dict(
+        name="t",
+        dataset="unif",
+        n=300,
+        ks=[2, 3],
+        algorithms=[gon_spec(), mrg_spec(m=4)],
+        n_instances=2,
+        n_runs=1,
+        master_seed=0,
+    )
+    defaults.update(kw)
+    return ExperimentSpec(**defaults)
+
+
+class TestRunExperiment:
+    def test_grid_is_complete(self):
+        records = run_experiment(_spec())
+        # 2 instances x 1 run x 2 algorithms x 2 ks
+        assert len(records) == 8
+        combos = {(r.algorithm, r.k, r.instance) for r in records}
+        assert len(combos) == 8
+
+    def test_records_carry_metadata(self):
+        rec = run_experiment(_spec())[0]
+        assert rec.experiment == "t"
+        assert rec.dataset == "unif"
+        assert rec.n == 300
+        assert rec.radius > 0
+        assert rec.parallel_time >= 0
+
+    def test_deterministic_in_master_seed(self):
+        a = run_experiment(_spec(master_seed=5))
+        b = run_experiment(_spec(master_seed=5))
+        assert [r.radius for r in a] == [r.radius for r in b]
+
+    def test_different_instances_different_data(self):
+        records = run_experiment(_spec())
+        gon_k2 = [r.radius for r in records if r.algorithm == "GON" and r.k == 2]
+        assert gon_k2[0] != gon_k2[1]
+
+    def test_progress_callback_called(self):
+        seen = []
+        run_experiment(_spec(), progress=seen.append)
+        assert len(seen) == 8
+        assert "GON" in seen[0] or "MRG" in seen[0]
+
+    def test_empty_ks_rejected(self):
+        with pytest.raises(ExperimentError, match="empty k grid"):
+            run_experiment(_spec(ks=[]))
+
+    def test_no_algorithms_rejected(self):
+        with pytest.raises(ExperimentError, match="no algorithms"):
+            run_experiment(_spec(algorithms=[]))
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ExperimentError, match="duplicate"):
+            run_experiment(_spec(algorithms=[gon_spec(), gon_spec()]))
+
+    def test_scaled_copy(self):
+        spec = _spec()
+        assert spec.scaled(999).n == 999
+        assert spec.n == 300  # original untouched
+
+    def test_eim_spec_runs(self):
+        records = run_experiment(
+            _spec(algorithms=[eim_spec(m=4)], ks=[2], n_instances=1)
+        )
+        assert records[0].algorithm == "EIM"
+        assert "iterations" in records[0].extra
+
+    def test_eim_spec_phi_naming(self):
+        assert eim_spec(phi=4.0).name == "EIM(phi=4)"
+        assert eim_spec(phi=8.0).name == "EIM"
+        assert eim_spec(phi=4.0, name="custom").name == "custom"
+
+
+class TestAggregate:
+    def _records(self):
+        def rec(algo, k, radius, t):
+            return RunRecord(
+                experiment="t", dataset="d", n=10, instance=0, run=0,
+                algorithm=algo, k=k, radius=radius, parallel_time=t,
+                wall_time=t, cpu_time=t, rounds=1, dist_evals=0,
+            )
+
+        return [
+            rec("A", 2, 1.0, 0.1),
+            rec("A", 2, 3.0, 0.3),
+            rec("A", 5, 10.0, 1.0),
+            rec("B", 2, 5.0, 0.5),
+        ]
+
+    def test_mean_by_algorithm_k(self):
+        means = aggregate(self._records())
+        assert means[("A", 2)] == pytest.approx(2.0)
+        assert means[("A", 5)] == pytest.approx(10.0)
+        assert means[("B", 2)] == pytest.approx(5.0)
+
+    def test_other_value_field(self):
+        means = aggregate(self._records(), value="parallel_time")
+        assert means[("A", 2)] == pytest.approx(0.2)
+
+    def test_custom_grouping(self):
+        means = aggregate(self._records(), by=("algorithm",))
+        assert means[("A",)] == pytest.approx((1 + 3 + 10) / 3)

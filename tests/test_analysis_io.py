@@ -1,0 +1,67 @@
+"""Unit tests for record persistence."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    ExperimentSpec,
+    aggregate,
+    gon_spec,
+    run_experiment,
+)
+from repro.analysis.io import load_records, save_records
+from repro.errors import ExperimentError
+
+
+@pytest.fixture
+def records():
+    spec = ExperimentSpec(
+        name="io-test",
+        dataset="unif",
+        n=200,
+        ks=[2, 3],
+        algorithms=[gon_spec()],
+        n_instances=1,
+        n_runs=2,
+        master_seed=1,
+    )
+    return run_experiment(spec)
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, records, tmp_path):
+        path = save_records(records, tmp_path / "records.csv")
+        loaded = load_records(path)
+        assert len(loaded) == len(records)
+        for a, b in zip(records, loaded):
+            assert a.algorithm == b.algorithm
+            assert a.k == b.k
+            assert a.radius == pytest.approx(b.radius)
+            assert a.parallel_time == pytest.approx(b.parallel_time)
+            assert a.extra == b.extra
+
+    def test_aggregation_identical_after_round_trip(self, records, tmp_path):
+        path = save_records(records, tmp_path / "r.csv")
+        loaded = load_records(path)
+        assert aggregate(records) == pytest.approx(aggregate(loaded))
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ExperimentError, match="no record file"):
+            load_records(tmp_path / "nothing.csv")
+
+    def test_wrong_header_rejected(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ExperimentError, match="not a records file"):
+            load_records(bad)
+
+    def test_corrupt_row_reported_with_line(self, records, tmp_path):
+        path = save_records(records, tmp_path / "r.csv")
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1].replace(str(records[0].k), "not-an-int", 1)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ExperimentError, match=":2:"):
+            load_records(path)
+
+    def test_empty_record_list(self, tmp_path):
+        path = save_records([], tmp_path / "empty.csv")
+        assert load_records(path) == []

@@ -1,0 +1,139 @@
+"""Unit tests for the paper-vs-measured shape checks."""
+
+import pytest
+
+from repro.analysis.experiments import RunRecord
+from repro.analysis.paper import TABLE2
+from repro.analysis.report import (
+    CheckResult,
+    check_phi_runtime_direction,
+    check_runtime_ordering,
+    check_winner_agreement,
+    fallback_ks,
+    render_checks,
+    speedup_summary,
+)
+from repro.errors import ExperimentError
+
+
+def _rec(algo, k, radius=1.0, t=0.1, extra=None):
+    return RunRecord(
+        experiment="t", dataset="d", n=10, instance=0, run=0,
+        algorithm=algo, k=k, radius=radius, parallel_time=t,
+        wall_time=t, cpu_time=t, rounds=1, dist_evals=0, extra=extra or {},
+    )
+
+
+class TestWinnerAgreement:
+    def test_perfect_agreement(self):
+        # Paper Table 2 winners: EIM at every k except... compute directly.
+        rows = [[k, *TABLE2[k]] for k in TABLE2]
+        result = check_winner_agreement(rows, TABLE2)
+        assert result.passed
+        assert "6/6" in result.detail
+
+    def test_disagreement_reported(self):
+        # Invert the winners badly: make column 0 hugely better everywhere,
+        # while the paper's winner column stays far off (tie tol 5%).
+        rows = [[k, 0.1, 100.0, 100.0] for k in TABLE2]
+        result = check_winner_agreement(rows, TABLE2, min_agreement=0.99)
+        # Paper winner is mostly col 1 (EIM); measured col 0 wins and col 1
+        # is 1000x worse -> disagreement.
+        assert not result.passed
+        assert "k=" in result.detail
+
+    def test_near_tie_counts_as_agreement(self):
+        rows = [[k, 1.00, 1.02, 5.0] for k in TABLE2]  # col0 wins, col1 within 5%
+        # Paper winner at k=25 is col 1; measured col1 is within tolerance.
+        result = check_winner_agreement(rows, TABLE2)
+        assert result.passed
+
+    def test_no_rows(self):
+        with pytest.raises(ExperimentError):
+            check_winner_agreement([[999, 1, 2, 3]], TABLE2)
+
+
+class TestRuntimeOrdering:
+    def test_paper_ordering_passes(self):
+        recs = []
+        for k in (2, 5):
+            recs += [
+                _rec("MRG", k, t=0.01),
+                _rec("GON", k, t=1.0),
+                _rec("EIM", k, t=5.0),
+            ]
+        result = check_runtime_ordering(recs)
+        assert result.passed
+
+    def test_wrong_ordering_fails(self):
+        recs = []
+        for k in (2, 5):
+            recs += [
+                _rec("MRG", k, t=5.0),
+                _rec("GON", k, t=1.0),
+                _rec("EIM", k, t=0.01),
+            ]
+        assert not check_runtime_ordering(recs).passed
+
+    def test_missing_algorithm_detected(self):
+        recs = [_rec("MRG", 2), _rec("GON", 2)]
+        with pytest.raises(ExperimentError, match="missing"):
+            check_runtime_ordering(recs)
+
+
+class TestSpeedupSummary:
+    def test_ratios(self):
+        recs = [
+            _rec("MRG", 2, t=0.01),
+            _rec("GON", 2, t=1.0),
+            _rec("EIM", 2, t=2.0),
+        ]
+        ratios = speedup_summary(recs)
+        assert ratios["GON"][2] == pytest.approx(100.0)
+        assert ratios["EIM"][2] == pytest.approx(200.0)
+
+    def test_missing_baseline(self):
+        with pytest.raises(ExperimentError, match="baseline"):
+            speedup_summary([_rec("GON", 2)])
+
+
+class TestPhiDirection:
+    def test_faster_low_phi_passes(self):
+        recs = []
+        for k in (2, 5):
+            recs += [
+                _rec("EIM(phi=1)", k, t=0.1),
+                _rec("EIM(phi=8)", k, t=1.0),
+            ]
+        assert check_phi_runtime_direction(recs, phis=(1.0, 8.0)).passed
+
+    def test_slower_low_phi_fails(self):
+        recs = []
+        for k in (2, 5):
+            recs += [
+                _rec("EIM(phi=1)", k, t=2.0),
+                _rec("EIM(phi=8)", k, t=1.0),
+            ]
+        assert not check_phi_runtime_direction(recs, phis=(1.0, 8.0)).passed
+
+    def test_no_records(self):
+        with pytest.raises(ExperimentError):
+            check_phi_runtime_direction([_rec("EIM", 2)], phis=(1.0, 8.0))
+
+
+class TestFallbackAndRendering:
+    def test_fallback_ks(self):
+        recs = [
+            _rec("EIM", 2, extra={"fallback_to_gon": False}),
+            _rec("EIM", 100, extra={"fallback_to_gon": True}),
+            _rec("EIM", 100, extra={"fallback_to_gon": True}),
+            _rec("EIM", 50, extra={"fallback_to_gon": True}),
+            _rec("EIM", 50, extra={"fallback_to_gon": False}),  # mixed: excluded
+        ]
+        assert fallback_ks(recs) == [100]
+
+    def test_render_checks(self):
+        out = render_checks(
+            [CheckResult("a", True, "ok"), CheckResult("b", False, "bad")]
+        )
+        assert "[PASS] a" in out and "[FAIL] b" in out

@@ -1,0 +1,140 @@
+"""Unit tests for table/figure builders and the paper-number embedding."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import RunRecord
+from repro.analysis.figures import FigureSeries, ascii_chart, series_over_k
+from repro.analysis.paper import (
+    PAPER_K_GRID,
+    PAPER_PHI_GRID,
+    SOLUTION_TABLES,
+    TABLE2,
+    TABLE6,
+    TABLE7,
+)
+from repro.analysis.tables import (
+    phi_table,
+    runtime_table,
+    side_by_side,
+    solution_value_table,
+)
+from repro.errors import ExperimentError
+
+
+def _rec(algo, k, radius=1.0, t=0.1):
+    return RunRecord(
+        experiment="t", dataset="d", n=10, instance=0, run=0,
+        algorithm=algo, k=k, radius=radius, parallel_time=t,
+        wall_time=t, cpu_time=t, rounds=1, dist_evals=0,
+    )
+
+
+def _full_grid(algos=("MRG", "EIM", "GON"), ks=(2, 5)):
+    out = []
+    for i, a in enumerate(algos):
+        for k in ks:
+            out.append(_rec(a, k, radius=k + i, t=0.1 * (i + 1)))
+            out.append(_rec(a, k, radius=k + i + 1, t=0.1 * (i + 1)))
+    return out
+
+
+class TestPaperNumbers:
+    def test_k_grid(self):
+        assert PAPER_K_GRID == (2, 5, 10, 25, 50, 100)
+        for table_id, (_, table) in SOLUTION_TABLES.items():
+            assert tuple(sorted(table)) == PAPER_K_GRID, table_id
+
+    def test_tables_have_three_columns(self):
+        for _, (_, table) in SOLUTION_TABLES.items():
+            assert all(len(row) == 3 for row in table.values())
+
+    def test_phi_tables_have_four_columns(self):
+        assert len(PAPER_PHI_GRID) == 4
+        assert all(len(v) == 4 for v in TABLE6.values())
+        assert all(len(v) == 4 for v in TABLE7.values())
+
+    def test_spot_checks_from_pdf(self):
+        assert TABLE2[25] == (0.961, 0.854, 0.961)
+        assert TABLE7[100] == (0.726, 0.757, 3.78, 3.59)
+
+
+class TestTableBuilders:
+    def test_solution_table_layout(self):
+        headers, rows = solution_value_table(_full_grid(), ks=(2, 5))
+        assert headers == ["k", "MRG", "EIM", "GON"]
+        assert rows[0][0] == 2
+        # radius mean of k+i and k+i+1 = k+i+0.5
+        assert rows[0][1] == pytest.approx(2.5)
+        assert rows[0][3] == pytest.approx(4.5)
+
+    def test_runtime_table(self):
+        headers, rows = runtime_table(_full_grid(), ks=(2, 5))
+        assert rows[0][1] == pytest.approx(0.1)
+        assert rows[0][2] == pytest.approx(0.2)
+
+    def test_missing_grid_point_detected(self):
+        with pytest.raises(ExperimentError, match="missing"):
+            solution_value_table(_full_grid(ks=(2,)), ks=(2, 5))
+
+    def test_phi_table(self):
+        algos = tuple(f"EIM(phi={p:g})" for p in (1.0, 8.0))
+        recs = _full_grid(algos=algos, ks=(2,))
+        headers, rows = phi_table(recs, "radius", phis=(1.0, 8.0), ks=(2,))
+        assert headers == ["k", "phi=1", "phi=8"]
+        assert len(rows) == 1
+
+    def test_side_by_side(self):
+        headers, rows = side_by_side(
+            [[2, 1.0, 2.0, 3.0], [100, 4.0, 5.0, 6.0]], TABLE2
+        )
+        assert len(headers) == 7
+        assert rows[0][0] == 2
+        assert rows[0][2] == TABLE2[2][0]  # paper value interleaved
+
+    def test_side_by_side_column_mismatch(self):
+        with pytest.raises(ExperimentError, match="columns"):
+            side_by_side([[2, 1.0]], TABLE2)
+
+    def test_side_by_side_empty(self):
+        with pytest.raises(ExperimentError, match="no measured rows"):
+            side_by_side([], TABLE2)
+
+
+class TestFigures:
+    def test_series_over_k(self):
+        series = series_over_k(_full_grid(), "radius", ["MRG", "GON"], [2, 5])
+        assert [s.label for s in series] == ["MRG", "GON"]
+        assert series[0].x == [2.0, 5.0]
+        assert series[0].y[0] == pytest.approx(2.5)
+
+    def test_series_missing_point(self):
+        with pytest.raises(ExperimentError, match="missing"):
+            series_over_k(_full_grid(ks=(2,)), "radius", ["MRG"], [2, 5])
+
+    def test_series_length_mismatch_rejected(self):
+        with pytest.raises(ExperimentError):
+            FigureSeries("x", [1.0, 2.0], [1.0])
+
+    def test_ascii_chart_renders(self):
+        series = [
+            FigureSeries("fast", [1, 10, 100], [0.001, 0.01, 0.1]),
+            FigureSeries("slow", [1, 10, 100], [0.1, 1.0, 10.0]),
+        ]
+        chart = ascii_chart(series, title="demo", xlabel="k")
+        assert "demo" in chart
+        assert "o fast" in chart and "x slow" in chart
+        assert "k" in chart
+
+    def test_ascii_chart_linear_scale(self):
+        series = [FigureSeries("s", [0, 1], [0.0, 5.0])]
+        chart = ascii_chart(series, logy=False)
+        assert "o s" in chart
+
+    def test_ascii_chart_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            ascii_chart([])
+
+    def test_ascii_chart_log_needs_positive(self):
+        with pytest.raises(ExperimentError, match="positive"):
+            ascii_chart([FigureSeries("s", [0.0], [0.0])])

@@ -1,0 +1,74 @@
+"""Unit tests for the command-line interface.
+
+Full experiment runs live in the benchmarks; here we exercise the CLI
+wiring on the cheapest real experiment (table5 at a tiny monkeypatched
+size) plus the argument handling.
+"""
+
+import pytest
+
+import repro.analysis.configs as configs
+from repro.cli import main
+
+
+class TestListCommand:
+    def test_lists_all_ids(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for exp in ("table2", "table7", "figure1", "figure4b"):
+            assert exp in out
+
+
+class TestArgumentHandling:
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "table99"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+@pytest.fixture
+def tiny_sizes(monkeypatch):
+    """Shrink every default size so CLI runs finish in seconds."""
+    tiny = {key: 2000 for key in configs._DEFAULT_SIZES}
+    tiny["table5"] = 2000
+    monkeypatch.setattr(configs, "_DEFAULT_SIZES", tiny)
+    # figure-4 sweeps its own grid.
+    monkeypatch.setattr(
+        configs, "figure4_n_grid",
+        lambda scale=None: [500, 1000],
+    )
+    # cli imported the function by name; patch there too.
+    import repro.cli as cli
+
+    monkeypatch.setattr(cli, "figure4_n_grid", lambda scale=None: [500, 1000])
+    return tiny
+
+
+class TestRunCommand:
+    def test_solution_table_output(self, capsys, tiny_sizes):
+        assert main(["run", "table5", "--quiet", "--m", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "solution value over k" in out
+        assert "measured vs paper" in out
+        assert "winner-agreement" in out
+        assert "runtime" in out
+
+    def test_phi_table_output(self, capsys, tiny_sizes):
+        assert main(["run", "table7", "--quiet", "--m", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "phi=1" in out and "phi=8" in out
+        assert "phi-runtime-direction" in out
+
+    def test_figure_output(self, capsys, tiny_sizes):
+        assert main(["run", "figure2b", "--quiet", "--m", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "runtime" in out
+        assert "MRG" in out and "EIM" in out and "GON" in out
+
+    def test_figure4_output(self, capsys, tiny_sizes):
+        assert main(["run", "figure4a", "--quiet", "--m", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "over n" in out

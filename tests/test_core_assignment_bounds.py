@@ -1,0 +1,119 @@
+"""Unit tests for assignment/objective evaluation and the OPT lower bounds."""
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import assign, cluster_sizes, covering_radius
+from repro.core.bounds import greedy_lower_bound, packing_lower_bound
+from repro.core.exact import exact_kcenter
+from repro.core.gonzalez import gonzalez
+from repro.errors import InvalidParameterError
+from repro.metric.euclidean import EuclideanSpace
+
+
+class TestAssign:
+    def test_labels_point_to_nearest(self, small_space):
+        centers = np.array([0, 25, 45], dtype=np.intp)
+        labels, dists = assign(small_space, centers)
+        # Verify a few rows against brute force.
+        for i in (0, 10, 30, 55):
+            expect = min(range(3), key=lambda j: small_space.dist(i, centers[j]))
+            assert labels[i] == expect
+            assert dists[i] == pytest.approx(
+                small_space.dist(i, centers[expect]), abs=1e-7
+            )
+
+    def test_centers_assigned_to_themselves(self, small_space):
+        centers = np.array([3, 33], dtype=np.intp)
+        labels, dists = assign(small_space, centers)
+        assert labels[3] == 0 and labels[33] == 1
+        assert dists[3] == pytest.approx(0.0, abs=1e-7)
+
+    def test_subset_assignment(self, small_space):
+        centers = np.array([0, 30], dtype=np.intp)
+        subset = np.array([5, 6, 7], dtype=np.intp)
+        labels, dists = assign(small_space, centers, i_idx=subset)
+        assert len(labels) == 3
+
+    def test_empty_centers_rejected(self, small_space):
+        with pytest.raises(InvalidParameterError):
+            assign(small_space, np.empty(0, dtype=np.intp))
+
+    def test_cluster_sizes(self):
+        sizes = cluster_sizes(np.array([0, 0, 1, 2, 2, 2]), 4)
+        np.testing.assert_array_equal(sizes, [2, 1, 3, 0])
+
+    def test_cluster_sizes_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            cluster_sizes(np.array([0]), 0)
+
+
+class TestCoveringRadius:
+    def test_matches_assignment_max(self, small_space):
+        centers = np.array([0, 25], dtype=np.intp)
+        _, dists = assign(small_space, centers)
+        assert covering_radius(small_space, centers) == pytest.approx(
+            dists.max(), abs=1e-7
+        )
+
+    def test_monotone_in_centers(self, small_space):
+        """Adding a center can only shrink the objective."""
+        c2 = np.array([0, 25], dtype=np.intp)
+        c3 = np.array([0, 25, 45], dtype=np.intp)
+        assert covering_radius(small_space, c3) <= covering_radius(small_space, c2) + 1e-9
+
+    def test_all_points_centers_gives_zero(self, tiny_space):
+        all_idx = np.arange(tiny_space.n, dtype=np.intp)
+        assert covering_radius(tiny_space, all_idx) == pytest.approx(0.0, abs=1e-7)
+
+
+class TestGreedyLowerBound:
+    def test_is_a_true_lower_bound(self, tiny_space):
+        for k in (1, 2, 3):
+            opt = exact_kcenter(tiny_space, k).radius
+            lb = greedy_lower_bound(tiny_space, k)
+            assert lb <= opt + 1e-9
+
+    def test_certifies_gonzalez_within_factor_two(self, small_space):
+        for k in (2, 3, 5):
+            lb = greedy_lower_bound(small_space, k)
+            got = gonzalez(small_space, k, first_center=0).radius
+            # By construction r_k = 2 * lb and GON(first=0) = r_k.
+            assert got <= 2.0 * lb + 1e-9
+
+    def test_zero_when_k_geq_n(self, tiny_space):
+        assert greedy_lower_bound(tiny_space, tiny_space.n) == 0.0
+        assert greedy_lower_bound(tiny_space, tiny_space.n + 5) == 0.0
+
+    def test_deterministic(self, small_space):
+        assert greedy_lower_bound(small_space, 4) == greedy_lower_bound(small_space, 4)
+
+    def test_invalid_k(self, tiny_space):
+        with pytest.raises(InvalidParameterError):
+            greedy_lower_bound(tiny_space, 0)
+
+
+class TestPackingLowerBound:
+    def test_known_configuration(self):
+        # 3 points pairwise >= 2 apart: any 2-center solution has OPT >= 1.
+        pts = np.array([[0.0, 0.0], [2.0, 0.0], [1.0, 2.0]])
+        space = EuclideanSpace(pts)
+        lb = packing_lower_bound(space, np.array([0, 1, 2]))
+        assert lb == pytest.approx(1.0)
+        opt = exact_kcenter(space, 2).radius
+        assert lb <= opt + 1e-9
+
+    def test_is_true_lower_bound_for_random_witnesses(self, tiny_space, rng):
+        k = 3
+        opt = exact_kcenter(tiny_space, k).radius
+        for _ in range(10):
+            witness = rng.choice(tiny_space.n, size=k + 1, replace=False)
+            assert packing_lower_bound(tiny_space, witness) <= opt + 1e-9
+
+    def test_needs_two_points(self, tiny_space):
+        with pytest.raises(InvalidParameterError):
+            packing_lower_bound(tiny_space, np.array([0]))
+
+    def test_rejects_duplicates(self, tiny_space):
+        with pytest.raises(InvalidParameterError, match="duplicate"):
+            packing_lower_bound(tiny_space, np.array([0, 0, 1]))

@@ -1,0 +1,220 @@
+"""Unit tests for EIM (Algorithms 2-3 with the paper's fixes and phi)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.eim import EIMParams, eim
+from repro.core.exact import exact_kcenter
+from repro.core.gonzalez import gonzalez
+from repro.errors import CapacityError, ConvergenceError, InvalidParameterError
+from repro.metric.euclidean import EuclideanSpace
+
+
+@pytest.fixture
+def medium_space(rng):
+    """Large enough that the sampling loop actually runs for small k."""
+    centers = rng.uniform(0, 100, size=(8, 2))
+    pts = centers[rng.integers(0, 8, size=6000)] + rng.normal(0, 0.5, size=(6000, 2))
+    return EuclideanSpace(pts)
+
+
+class TestParams:
+    def test_defaults_match_paper(self):
+        p = EIMParams()
+        assert p.eps == 0.1 and p.phi == 8.0
+        assert p.sample_coeff == 9.0 and p.pivot_coeff == 4.0
+        assert p.threshold_coeff == 4.0
+
+    def test_loop_threshold_formula(self):
+        p = EIMParams(eps=0.1)
+        n, k = 100_000, 10
+        expect = (4 / 0.1) * k * n**0.1 * math.log(n)
+        assert p.loop_threshold(n, k) == pytest.approx(expect)
+
+    def test_probabilities_clamped(self):
+        p = EIMParams()
+        assert p.sample_probability(10_000, 100, r_size=5) == 1.0
+        assert 0.0 < p.sample_probability(10_000, 2, r_size=10_000) < 1.0
+        assert p.pivot_probability(10_000, r_size=0) == 0.0
+
+    def test_pivot_rank_scales_with_phi(self):
+        n = 100_000
+        assert EIMParams(phi=8.0).pivot_rank(n) > EIMParams(phi=1.0).pivot_rank(n)
+
+    def test_invalid_params(self):
+        with pytest.raises(InvalidParameterError):
+            EIMParams(eps=0.0)
+        with pytest.raises(InvalidParameterError):
+            EIMParams(eps=1.0)
+        with pytest.raises(InvalidParameterError):
+            EIMParams(phi=0.0)
+        with pytest.raises(InvalidParameterError):
+            EIMParams(sample_coeff=-1.0)
+
+    def test_iteration_cap_default(self):
+        assert EIMParams(eps=0.1).iteration_cap == 110
+        assert EIMParams(eps=0.1, max_iterations=3).iteration_cap == 3
+
+
+class TestSamplingRegime:
+    def test_loop_runs_and_rounds_counted(self, medium_space):
+        res = eim(medium_space, k=3, m=10, seed=0)
+        iters = res.extra["iterations"]
+        assert iters >= 1
+        assert not res.extra["fallback_to_gon"]
+        # 3 recorded rounds per iteration plus the final clean-up round.
+        assert res.n_rounds == 3 * iters + 1
+        assert res.stats.rounds[-1].label == "eim.final"
+
+    def test_sample_sizes_shrink(self, medium_space):
+        res = eim(medium_space, k=3, m=10, seed=0)
+        r_sizes = [it["R"] for it in res.extra["iteration_sizes"]]
+        assert all(a > b for a, b in zip(r_sizes, r_sizes[1:]))
+
+    def test_candidates_cover_sample_and_remainder(self, medium_space):
+        res = eim(medium_space, k=3, m=10, seed=0)
+        assert res.extra["candidate_size"] <= medium_space.n
+        assert res.extra["candidate_size"] >= res.k
+
+    def test_radius_matches_objective(self, medium_space):
+        res = eim(medium_space, k=3, m=10, seed=0)
+        assert res.radius == pytest.approx(
+            medium_space.covering_radius(res.centers), abs=1e-7
+        )
+
+    def test_deterministic_in_seed(self, medium_space):
+        a = eim(medium_space, k=3, m=10, seed=5)
+        b = eim(medium_space, k=3, m=10, seed=5)
+        np.testing.assert_array_equal(a.centers, b.centers)
+        assert a.extra["iterations"] == b.extra["iterations"]
+
+    def test_seeds_vary_outcome(self, medium_space):
+        a = eim(medium_space, k=3, m=10, seed=1)
+        b = eim(medium_space, k=3, m=10, seed=2)
+        assert not np.array_equal(a.centers, b.centers)
+
+    def test_finds_cluster_structure(self, medium_space):
+        res = eim(medium_space, k=8, m=10, seed=0)
+        # 8 well-separated clusters of sigma 0.5: radius must be small.
+        assert res.radius < 6.0
+
+    def test_approx_factor_depends_on_phi(self, medium_space):
+        assert eim(medium_space, k=2, m=5, seed=0).approx_factor == 10.0
+        low = eim(medium_space, k=2, m=5, seed=0, phi=4.0)
+        assert low.approx_factor is None
+
+
+class TestFallbackRegime:
+    def test_large_k_falls_back_to_gon(self, rng):
+        """Figure 4b: for small n relative to k, no sampling occurs."""
+        space = EuclideanSpace(rng.normal(size=(500, 2)))
+        res = eim(space, k=100, m=10, seed=0)
+        assert res.extra["fallback_to_gon"]
+        assert res.extra["iterations"] == 0
+        assert res.n_rounds == 1  # just the clean-up GON
+        assert res.extra["candidate_size"] == 500
+
+    def test_fallback_equals_gon_quality(self, rng):
+        pts = rng.normal(size=(300, 2))
+        space = EuclideanSpace(pts)
+        res = eim(space, k=50, m=10, seed=0)
+        assert res.extra["fallback_to_gon"]
+        # Clean-up GON on all of V is exactly sequential GON.
+        gon = gonzalez(space, 50, seed=0)
+        assert res.radius <= 2 * gon.radius + 1e-9 and gon.radius <= 2 * res.radius + 1e-9
+
+
+class TestQuality:
+    def test_ten_approximation_with_slack_vs_exact(self, tiny_space):
+        # Tiny instances always fall back to GON (threshold > n), giving a
+        # 2-approximation — the 10x bound holds with room to spare.
+        for k in (2, 3):
+            opt = exact_kcenter(tiny_space, k).radius
+            for seed in range(3):
+                res = eim(tiny_space, k, m=2, seed=seed)
+                assert res.radius <= 10.0 * opt + 1e-7
+
+    def test_sampling_regime_quality_vs_gonzalez(self, medium_space):
+        """Paper Section 8: EIM comparable to GON, sometimes better."""
+        r_eim = eim(medium_space, k=8, m=10, seed=0).radius
+        r_gon = gonzalez(medium_space, k=8, seed=0).radius
+        assert r_eim <= 3.0 * r_gon
+
+
+class TestPhiParameter:
+    @pytest.mark.parametrize("phi", [1.0, 4.0, 6.0, 8.0])
+    def test_all_paper_phis_run(self, medium_space, phi):
+        res = eim(medium_space, k=3, m=10, seed=0, phi=phi)
+        assert res.n_centers == 3
+
+    def test_lower_phi_fewer_or_equal_candidates(self, medium_space):
+        """Lower phi keeps the pivot farther out, removing more of R per
+        iteration, so the final candidate set is typically smaller."""
+        hi = eim(medium_space, k=3, m=10, seed=0, phi=8.0)
+        lo = eim(medium_space, k=3, m=10, seed=0, phi=1.0)
+        assert lo.extra["iterations"] <= hi.extra["iterations"]
+
+
+class TestTerminationFixes:
+    def test_legacy_removal_may_stall_and_is_detected(self, rng):
+        """With strict-< removal and duplicated points, iterations can
+        remove nothing; the implementation must detect the stall instead
+        of looping forever."""
+        # All points identical: d(x, S) = 0 = pivot distance always, so the
+        # legacy rule (remove strictly closer) removes nothing.
+        pts = np.zeros((4000, 2))
+        space = EuclideanSpace(pts)
+        params = EIMParams(legacy_removal=True, max_iterations=5)
+        with pytest.raises(ConvergenceError):
+            eim(space, k=2, m=5, params=params, seed=0)
+
+    def test_fixed_rule_handles_duplicates(self):
+        pts = np.zeros((4000, 2))
+        space = EuclideanSpace(pts)
+        res = eim(space, k=2, m=5, seed=0)
+        assert res.radius == 0.0
+
+    def test_params_and_overrides_mutually_exclusive(self, tiny_space):
+        with pytest.raises(InvalidParameterError, match="not both"):
+            eim(tiny_space, 2, params=EIMParams(), phi=4.0)
+
+
+class TestCapacity:
+    def test_tiny_capacity_rejected_at_first_round(self, medium_space):
+        # Per-machine shards of ~n/m points cannot fit on 50-point machines;
+        # the violation surfaces before any work runs.
+        with pytest.raises(CapacityError, match="exceeds machine capacity"):
+            eim(medium_space, k=3, m=10, seed=0, capacity=50)
+
+    def test_candidate_set_capacity_enforced(self, rng):
+        # Unbounded rounds but a final machine too small for C = S u R:
+        # run the fallback regime, where C = V exceeds any capacity < n.
+        pts = rng.normal(size=(400, 2))
+        space = EuclideanSpace(pts)
+        with pytest.raises(CapacityError, match="candidate set"):
+            eim(space, k=50, m=1, seed=0, capacity=399)
+
+    def test_generous_capacity_ok(self, medium_space):
+        res = eim(medium_space, k=3, m=10, seed=0, capacity=medium_space.n)
+        assert res.n_centers == 3
+
+
+class TestEdges:
+    def test_invalid_k(self, tiny_space):
+        with pytest.raises(InvalidParameterError):
+            eim(tiny_space, 0)
+
+    def test_empty_space(self):
+        res = eim(EuclideanSpace(np.empty((0, 2))), 2)
+        assert res.n_centers == 0
+
+    def test_single_point(self):
+        res = eim(EuclideanSpace(np.zeros((1, 3))), 2, seed=0)
+        assert res.n_centers == 1
+        assert res.radius == 0.0
+
+    def test_evaluate_false(self, medium_space):
+        res = eim(medium_space, k=3, m=10, seed=0, evaluate=False)
+        assert res.eval_time == 0.0

@@ -1,0 +1,118 @@
+"""Unit tests for GON (Gonzalez's farthest-first traversal)."""
+
+import numpy as np
+import pytest
+
+from repro.core.exact import exact_kcenter
+from repro.core.gonzalez import gonzalez, gonzalez_trace
+from repro.errors import InvalidParameterError
+from repro.metric.euclidean import EuclideanSpace
+from repro.metric.precomputed import PrecomputedSpace
+
+
+class TestTrace:
+    def test_line_space_selection_order(self, line_space):
+        # Points at 0, 1, 2, 4, 8.  Seeded at 0, the farthest is 8, then 4
+        # (dist 4 to {0,8}) is next.
+        trace = gonzalez_trace(line_space, 3, first_center=0)
+        np.testing.assert_array_equal(trace.centers, [0, 4, 3])
+        assert trace.selection_radii[1] == 8.0
+        assert trace.selection_radii[2] == 4.0
+        assert trace.radius == 2.0  # point at 2 -> center at 4
+
+    def test_selection_radii_non_increasing(self, small_space):
+        trace = gonzalez_trace(small_space, 10, first_center=0)
+        radii = trace.selection_radii[1:]
+        assert (np.diff(radii) <= 1e-12).all()
+
+    def test_final_dists_max_is_radius(self, small_space):
+        trace = gonzalez_trace(small_space, 5, first_center=0)
+        assert trace.radius == pytest.approx(trace.final_dists.max())
+
+    def test_radius_is_next_selection_radius(self, small_space):
+        """r_k (covering radius of k centers) equals the (k+1)-th selection."""
+        t_k = gonzalez_trace(small_space, 4, first_center=0)
+        t_k1 = gonzalez_trace(small_space, 5, first_center=0)
+        assert t_k.radius == pytest.approx(t_k1.selection_radii[4])
+
+    def test_centers_distinct(self, small_space):
+        trace = gonzalez_trace(small_space, 30, first_center=0)
+        assert len(np.unique(trace.centers)) == len(trace.centers)
+
+    def test_k_larger_than_n(self, tiny_space):
+        trace = gonzalez_trace(tiny_space, 100, first_center=0)
+        assert len(trace.centers) == tiny_space.n
+        assert trace.radius == pytest.approx(0.0, abs=1e-7)
+
+    def test_duplicate_points_stop_early(self):
+        space = EuclideanSpace(np.array([[0.0, 0.0], [0.0, 0.0], [1.0, 0.0]]))
+        trace = gonzalez_trace(space, 3, first_center=0)
+        # Only 2 distinct locations: the third selection would be a
+        # zero-distance duplicate and must be skipped.
+        assert len(trace.centers) == 2
+        assert trace.radius == 0.0
+
+    def test_empty_space(self):
+        trace = gonzalez_trace(EuclideanSpace(np.empty((0, 2))), 3)
+        assert len(trace.centers) == 0
+        assert trace.radius == 0.0
+
+    def test_invalid_k(self, tiny_space):
+        with pytest.raises(InvalidParameterError):
+            gonzalez_trace(tiny_space, 0)
+
+    def test_invalid_first_center(self, tiny_space):
+        with pytest.raises(InvalidParameterError, match="out of range"):
+            gonzalez_trace(tiny_space, 2, first_center=99)
+
+    def test_seed_determinism(self, small_space):
+        a = gonzalez_trace(small_space, 4, seed=42)
+        b = gonzalez_trace(small_space, 4, seed=42)
+        np.testing.assert_array_equal(a.centers, b.centers)
+
+
+class TestGonzalezResult:
+    def test_result_fields(self, small_space):
+        res = gonzalez(small_space, 3, seed=1)
+        assert res.algorithm == "GON"
+        assert res.k == 3 and res.n_centers == 3
+        assert res.approx_factor == 2.0
+        assert res.wall_time > 0.0
+        assert res.n_rounds == 0  # sequential: no MapReduce stats
+        assert "selection_radii" in res.extra
+
+    def test_radius_matches_objective(self, small_space):
+        res = gonzalez(small_space, 3, seed=1)
+        assert res.radius == pytest.approx(
+            small_space.covering_radius(res.centers), abs=1e-7
+        )
+
+    def test_two_approximation_vs_exact(self, tiny_space):
+        for k in (1, 2, 3):
+            opt = exact_kcenter(tiny_space, k).radius
+            for seed in range(5):
+                got = gonzalez(tiny_space, k, seed=seed).radius
+                assert got <= 2.0 * opt + 1e-7
+
+    def test_identifies_well_separated_clusters(self, small_space):
+        # 3 clusters with sigma=0.4, separated by ~10: k=3 must find them.
+        res = gonzalez(small_space, 3, seed=0)
+        assert res.radius < 3.0
+
+    def test_runtime_scales_linearly_in_k(self, rng):
+        """O(k n): distance evaluations, not wall time (too noisy)."""
+        space = EuclideanSpace(rng.normal(size=(2000, 2)))
+        space.counter.reset()
+        gonzalez(space, 5, seed=0)
+        evals_k5 = space.counter.evals
+        space.counter.reset()
+        gonzalez(space, 10, seed=0)
+        evals_k10 = space.counter.evals
+        assert evals_k5 == 5 * 2000
+        assert evals_k10 == 10 * 2000
+
+    def test_works_on_precomputed_space(self, line_space):
+        # Centers seeded at 0: second center is 8.  Distances to {0,8}:
+        # 1->1, 2->2, 4->4.  Radius = 4.
+        res = gonzalez(line_space, 2, first_center=0)
+        assert res.radius == pytest.approx(4.0)

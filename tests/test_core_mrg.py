@@ -1,0 +1,141 @@
+"""Unit tests for MRG (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.exact import exact_kcenter
+from repro.core.gonzalez import gonzalez
+from repro.core.mrg import mrg
+from repro.errors import CapacityError, InvalidParameterError
+from repro.metric.euclidean import EuclideanSpace
+
+
+class TestTwoRoundRegime:
+    def test_two_rounds_and_factor_four(self, small_space):
+        res = mrg(small_space, k=3, m=4, seed=0)
+        assert res.algorithm == "MRG"
+        assert res.extra["total_rounds"] == 2
+        assert res.n_rounds == 2
+        assert res.approx_factor == 4.0
+        assert [r.label for r in res.stats.rounds] == ["mrg.reduce[1]", "mrg.final"]
+
+    def test_four_approximation_vs_exact(self, tiny_space):
+        for k in (2, 3):
+            opt = exact_kcenter(tiny_space, k).radius
+            for seed in range(5):
+                res = mrg(tiny_space, k, m=3, seed=seed)
+                assert res.radius <= 4.0 * opt + 1e-7
+
+    def test_round1_uses_m_machines(self, small_space):
+        res = mrg(small_space, k=2, m=5, seed=0)
+        assert res.stats.rounds[0].n_tasks == 5
+
+    def test_final_round_single_machine(self, small_space):
+        res = mrg(small_space, k=2, m=5, seed=0)
+        assert res.stats.rounds[-1].n_tasks == 1
+
+    def test_centers_are_valid_indices(self, small_space):
+        res = mrg(small_space, k=3, m=4, seed=0)
+        assert res.n_centers == 3
+        assert (res.centers >= 0).all() and (res.centers < small_space.n).all()
+
+    def test_radius_matches_objective(self, small_space):
+        res = mrg(small_space, k=3, m=4, seed=0)
+        assert res.radius == pytest.approx(
+            small_space.covering_radius(res.centers), abs=1e-7
+        )
+
+    def test_deterministic_in_seed(self, small_space):
+        a = mrg(small_space, k=3, m=4, seed=9)
+        b = mrg(small_space, k=3, m=4, seed=9)
+        np.testing.assert_array_equal(a.centers, b.centers)
+
+    def test_comparable_to_sequential(self, rng):
+        """Paper Section 8: MRG solutions comparable to GON's."""
+        pts = np.concatenate(
+            [c + rng.normal(0, 0.5, size=(300, 2)) for c in
+             [[0, 0], [20, 0], [0, 20], [20, 20], [10, 10]]]
+        )
+        space = EuclideanSpace(pts)
+        r_mrg = mrg(space, 5, m=10, seed=0).radius
+        r_gon = gonzalez(space, 5, seed=0).radius
+        assert r_mrg <= 2.5 * r_gon  # far inside the worst-case 4x vs 2x
+
+
+class TestMultiRoundRegime:
+    def test_forced_extra_rounds(self, rng):
+        # n=400, k=6, m=10: k*m = 60 > c = 45 forces the while loop to
+        # iterate (2k = 12 < c so it converges).
+        space = EuclideanSpace(rng.normal(size=(400, 2)))
+        res = mrg(space, k=6, m=10, capacity=45, seed=0)
+        assert res.extra["total_rounds"] > 2
+        assert res.approx_factor == 2.0 * res.extra["total_rounds"]
+        assert res.n_centers == 6
+
+    def test_later_rounds_use_fewer_machines(self, rng):
+        space = EuclideanSpace(rng.normal(size=(400, 2)))
+        res = mrg(space, k=6, m=10, capacity=45, seed=0)
+        tasks_per_round = [r.n_tasks for r in res.stats.rounds]
+        assert tasks_per_round[-1] == 1  # final GON
+        assert tasks_per_round[1] < tasks_per_round[0]
+
+    def test_divergent_capacity_raises(self, rng):
+        # 2k >= c: the reduction can never fit on one machine.
+        space = EuclideanSpace(rng.normal(size=(300, 2)))
+        with pytest.raises(CapacityError):
+            mrg(space, k=20, m=10, capacity=30, seed=0)
+
+    def test_multi_round_quality_bound_vs_exact(self, rng):
+        pts = rng.normal(size=(60, 2))
+        space = EuclideanSpace(pts)
+        opt = exact_kcenter(space, 2).radius
+        res = mrg(space, k=2, m=6, capacity=14, seed=0)
+        assert res.radius <= res.approx_factor * opt + 1e-7
+
+
+class TestValidationAndEdges:
+    def test_invalid_k(self, small_space):
+        with pytest.raises(InvalidParameterError):
+            mrg(small_space, k=0, m=2)
+
+    def test_unknown_partitioner(self, small_space):
+        with pytest.raises(InvalidParameterError, match="partitioner"):
+            mrg(small_space, k=2, m=2, partitioner="bogus")
+
+    def test_callable_partitioner(self, small_space):
+        from repro.mapreduce.partition import block_partition
+
+        res = mrg(small_space, k=2, m=3, partitioner=block_partition, seed=0)
+        assert res.n_centers == 2
+
+    @pytest.mark.parametrize("strategy", ["block", "random", "hash"])
+    def test_all_partitioners_work(self, small_space, strategy):
+        res = mrg(small_space, k=3, m=4, partitioner=strategy, seed=0)
+        assert res.n_centers == 3
+        assert res.radius < 3.0  # still finds the three clusters
+
+    def test_k_exceeding_capacity_rejected(self, small_space):
+        with pytest.raises(CapacityError, match="external memory"):
+            mrg(small_space, k=25, m=3, capacity=20)
+
+    def test_empty_space(self):
+        res = mrg(EuclideanSpace(np.empty((0, 2))), k=2, m=2)
+        assert res.n_centers == 0 and res.radius == 0.0
+
+    def test_k_geq_n(self, tiny_space):
+        res = mrg(tiny_space, k=tiny_space.n, m=2, seed=0)
+        assert res.radius == pytest.approx(0.0, abs=1e-7)
+
+    def test_evaluate_false_skips_objective(self, small_space):
+        res = mrg(small_space, k=3, m=4, seed=0, evaluate=False)
+        assert res.eval_time == 0.0
+
+    def test_eval_time_not_in_round_stats(self, small_space):
+        res = mrg(small_space, k=3, m=4, seed=0)
+        assert res.eval_time > 0.0
+        # The objective evaluation is not charged to any MapReduce round.
+        assert res.stats.parallel_time <= res.wall_time + 1e-9
+
+    def test_more_machines_than_points(self, tiny_space):
+        res = mrg(tiny_space, k=2, m=50, seed=0)
+        assert res.n_centers == 2

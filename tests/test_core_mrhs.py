@@ -1,0 +1,77 @@
+"""Unit tests for MRHS (the future-work MapReduce Hochbaum-Shmoys)."""
+
+import numpy as np
+import pytest
+
+from repro.core.exact import exact_kcenter
+from repro.core.mr_hochbaum_shmoys import mr_hochbaum_shmoys
+from repro.core.mrg import mrg
+from repro.errors import CapacityError, InvalidParameterError
+from repro.metric.euclidean import EuclideanSpace
+
+
+class TestMRHS:
+    def test_two_rounds_always(self, small_space):
+        res = mr_hochbaum_shmoys(small_space, k=3, m=4, seed=0)
+        assert res.algorithm == "MRHS"
+        assert res.n_rounds == 2
+        assert [r.label for r in res.stats.rounds] == ["mrhs.reduce", "mrhs.final"]
+
+    def test_eight_approximation_vs_exact(self, tiny_space):
+        for k in (2, 3):
+            opt = exact_kcenter(tiny_space, k).radius
+            res = mr_hochbaum_shmoys(tiny_space, k, m=3, seed=0)
+            assert res.radius <= 8.0 * opt + 1e-7
+            assert res.approx_factor == 8.0
+
+    def test_radius_matches_objective(self, small_space):
+        res = mr_hochbaum_shmoys(small_space, 3, m=4, seed=0)
+        assert res.radius == pytest.approx(
+            small_space.covering_radius(res.centers), abs=1e-7
+        )
+
+    def test_comparable_to_mrg_in_practice(self, rng):
+        """The comparison the paper asked for: despite the looser bound,
+        MRHS should land near MRG on clustered data."""
+        centers = rng.uniform(0, 50, size=(5, 2))
+        pts = centers[rng.integers(0, 5, size=4000)] + rng.normal(0, 0.5, (4000, 2))
+        space = EuclideanSpace(pts)
+        r_hs = mr_hochbaum_shmoys(space, 5, m=8, seed=0).radius
+        r_gon = mrg(space, 5, m=8, seed=0).radius
+        assert r_hs <= 3.0 * r_gon
+        assert r_gon <= 3.0 * r_hs
+
+    def test_finds_cluster_structure(self, small_space):
+        res = mr_hochbaum_shmoys(small_space, 3, m=4, seed=0)
+        assert res.radius < 3.0
+
+    def test_shard_cap_enforced(self, rng):
+        space = EuclideanSpace(rng.normal(size=(50_000, 2)))
+        with pytest.raises(CapacityError, match="cap"):
+            mr_hochbaum_shmoys(space, 3, m=2, seed=0)
+
+    def test_no_multi_round_fallback(self, rng):
+        space = EuclideanSpace(rng.normal(size=(600, 2)))
+        with pytest.raises(CapacityError, match="multi-round"):
+            mr_hochbaum_shmoys(space, 10, m=10, capacity=60, seed=0)
+
+    def test_empty_space(self):
+        res = mr_hochbaum_shmoys(EuclideanSpace(np.empty((0, 2))), 2, m=2)
+        assert res.n_centers == 0
+
+    def test_invalid_k(self, small_space):
+        with pytest.raises(InvalidParameterError):
+            mr_hochbaum_shmoys(small_space, 0, m=2)
+
+    def test_unknown_partitioner(self, small_space):
+        with pytest.raises(InvalidParameterError, match="partitioner"):
+            mr_hochbaum_shmoys(small_space, 2, m=2, partitioner="bogus")
+
+    @pytest.mark.parametrize("strategy", ["block", "random", "hash"])
+    def test_all_partitioners(self, small_space, strategy):
+        res = mr_hochbaum_shmoys(small_space, 3, m=4, partitioner=strategy, seed=0)
+        assert res.n_centers <= 3
+
+    def test_union_size_recorded(self, small_space):
+        res = mr_hochbaum_shmoys(small_space, 3, m=4, seed=0)
+        assert 3 <= res.extra["union_size"] <= 3 * 4

@@ -1,0 +1,134 @@
+"""Hypothesis property tests for the core algorithms.
+
+The approximation guarantees are theorems about *any* metric input; we
+check them against the exact oracle on random tiny instances, plus the
+structural invariances (permutation, translation, scaling) that any
+correct k-center implementation must satisfy.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.exact import exact_kcenter
+from repro.core.gonzalez import gonzalez, gonzalez_trace
+from repro.core.hochbaum_shmoys import hochbaum_shmoys
+from repro.core.mrg import mrg
+from repro.metric.euclidean import EuclideanSpace
+
+coords = st.floats(-100, 100, allow_nan=False, allow_infinity=False, width=64)
+
+
+def tiny_instances(min_n=4, max_n=14):
+    return arrays(
+        np.float64,
+        st.tuples(st.integers(min_n, max_n), st.integers(1, 3)),
+        elements=coords,
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(pts=tiny_instances(), k=st.integers(1, 3), seed=st.integers(0, 10))
+def test_gonzalez_two_approximation(pts, k, seed):
+    space = EuclideanSpace(pts)
+    opt = exact_kcenter(space, k).radius
+    got = gonzalez(space, k, seed=seed).radius
+    assert got <= 2.0 * opt + 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(pts=tiny_instances(), k=st.integers(1, 3))
+def test_hochbaum_shmoys_two_approximation(pts, k):
+    space = EuclideanSpace(pts)
+    opt = exact_kcenter(space, k).radius
+    got = hochbaum_shmoys(space, k).radius
+    assert got <= 2.0 * opt + 1e-6
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    pts=tiny_instances(min_n=6),
+    k=st.integers(1, 3),
+    m=st.integers(2, 4),
+    seed=st.integers(0, 10),
+)
+def test_mrg_four_approximation(pts, k, m, seed):
+    space = EuclideanSpace(pts)
+    opt = exact_kcenter(space, k).radius
+    res = mrg(space, k, m=m, seed=seed)
+    assert res.extra["total_rounds"] <= 2
+    assert res.radius <= 4.0 * opt + 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(pts=tiny_instances(min_n=5), seed=st.integers(0, 5))
+def test_gonzalez_radius_monotone_in_k(pts, seed):
+    """More centers never increase the covering radius."""
+    space = EuclideanSpace(pts)
+    radii = [gonzalez(space, k, seed=seed).radius for k in (1, 2, 3, 4)]
+    for a, b in zip(radii, radii[1:]):
+        assert b <= a + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(pts=tiny_instances(), k=st.integers(1, 3), seed=st.integers(0, 5))
+def test_gonzalez_translation_invariant(pts, k, seed):
+    """The objective value is translation invariant (same selections)."""
+    a = gonzalez(EuclideanSpace(pts), k, first_center=0).radius
+    b = gonzalez(EuclideanSpace(pts + 17.0), k, first_center=0).radius
+    assert a == pytest.approx(b, abs=1e-6, rel=1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    pts=tiny_instances(),
+    k=st.integers(1, 3),
+    scale=st.floats(0.1, 50, allow_nan=False),
+)
+def test_gonzalez_scale_equivariant(pts, k, scale):
+    a = gonzalez(EuclideanSpace(pts), k, first_center=0).radius
+    b = gonzalez(EuclideanSpace(pts * scale), k, first_center=0).radius
+    assert b == pytest.approx(a * scale, rel=1e-6, abs=1e-6)
+
+
+@settings(max_examples=25, deadline=None)
+@given(pts=tiny_instances(min_n=6), k=st.integers(1, 4), data=st.data())
+def test_gonzalez_permutation_invariant_value(pts, k, data):
+    """Relabelling points cannot change the greedy radius when the seed
+    point is preserved."""
+    n = len(pts)
+    perm = data.draw(st.permutations(range(n)))
+    perm = np.asarray(perm)
+    a = gonzalez_trace(EuclideanSpace(pts), k, first_center=0)
+    # Where did point 0 go under the permutation?  pts_perm[i] = pts[perm[i]].
+    new_first = int(np.flatnonzero(perm == 0)[0])
+    b = gonzalez_trace(EuclideanSpace(pts[perm]), k, first_center=new_first)
+    # Selection-radius sequences may differ by argmax tie-breaks; the
+    # resulting covering radius must agree up to those ties.
+    assert a.radius == pytest.approx(b.radius, abs=1e-6) or (
+        len(np.unique(np.round(a.selection_radii[1:], 6)))
+        < len(a.selection_radii[1:])
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(pts=tiny_instances(), k=st.integers(1, 3))
+def test_exact_is_a_lower_bound_for_everything(pts, k):
+    space = EuclideanSpace(pts)
+    opt = exact_kcenter(space, k).radius
+    assert opt <= gonzalez(space, k, seed=0).radius + 1e-9
+    assert opt <= hochbaum_shmoys(space, k).radius + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(pts=tiny_instances(min_n=5), seed=st.integers(0, 5))
+def test_selection_radii_non_increasing_property(pts, seed):
+    space = EuclideanSpace(pts)
+    trace = gonzalez_trace(space, min(4, space.n), seed=seed)
+    radii = trace.selection_radii[1:]
+    assert all(radii[i] >= radii[i + 1] - 1e-9 for i in range(len(radii) - 1))
+    # And the final covering radius never exceeds the last selection.
+    if len(radii):
+        assert trace.radius <= radii[-1] + 1e-9

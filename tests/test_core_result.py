@@ -1,0 +1,66 @@
+"""Unit tests for the shared result type."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import KCenterResult
+from repro.mapreduce.accounting import JobStats, RoundStats
+
+
+def _result(**kw):
+    defaults = dict(
+        algorithm="X", centers=np.array([1, 2]), radius=1.5, k=3
+    )
+    defaults.update(kw)
+    return KCenterResult(**defaults)
+
+
+class TestValidation:
+    def test_basic_fields(self):
+        r = _result()
+        assert r.n_centers == 2
+        assert r.parallel_time == r.wall_time == 0.0
+        assert r.n_rounds == 0
+
+    def test_duplicate_centers_rejected(self):
+        with pytest.raises(ValueError, match="duplicates"):
+            _result(centers=np.array([1, 1]))
+
+    def test_too_many_centers_rejected(self):
+        with pytest.raises(ValueError, match="centers returned"):
+            _result(centers=np.array([1, 2, 3, 4]), k=3)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            _result(radius=-0.1)
+
+    def test_2d_centers_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            _result(centers=np.array([[1], [2]]))
+
+    def test_centers_cast_to_intp(self):
+        r = _result(centers=[4, 5])
+        assert r.centers.dtype == np.intp
+
+
+class TestStatsIntegration:
+    def _stats(self):
+        job = JobStats()
+        job.add(RoundStats("a", task_times=[0.2, 0.1], task_sizes=[5, 5], dist_evals=3))
+        return job
+
+    def test_parallel_time_prefers_stats(self):
+        r = _result(stats=self._stats(), wall_time=9.0)
+        assert r.parallel_time == pytest.approx(0.2)
+        assert r.n_rounds == 1
+
+    def test_summary_with_stats(self):
+        s = _result(stats=self._stats(), wall_time=1.0).summary()
+        assert s["cpu_time"] == pytest.approx(0.3)
+        assert s["dist_evals"] == 3
+        assert s["rounds"] == 1
+
+    def test_summary_without_stats(self):
+        s = _result(wall_time=1.0).summary()
+        assert "cpu_time" not in s
+        assert s["parallel_time"] == 1.0

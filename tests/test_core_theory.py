@@ -1,0 +1,109 @@
+"""Unit tests for the theory module (Table 1, Eq. (1)-(2))."""
+
+import math
+
+import pytest
+
+from repro.core.theory import (
+    PHI_PAPER_THRESHOLD,
+    eim_cost,
+    eim_expected_slowdown,
+    gon_cost,
+    mrg_cost,
+    phi_feasibility_threshold,
+    phi_feasible,
+    table1_rows,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestCostFormulas:
+    def test_gon_linear_in_both(self):
+        assert gon_cost(1000, 10) == 10_000
+        assert gon_cost(2000, 10) == 2 * gon_cost(1000, 10)
+        assert gon_cost(1000, 20) == 2 * gon_cost(1000, 10)
+
+    def test_mrg_two_terms(self):
+        n, k, m = 100_000, 10, 50
+        assert mrg_cost(n, k, m) == pytest.approx(k * n / m + k * k * m)
+
+    def test_mrg_k2m_term_dominates_small_n(self):
+        # Paper Section 8.2: for large k and small n, the k^2 m term wins.
+        k, m = 100, 50
+        small = mrg_cost(10_000, k, m)
+        assert k * k * m > k * 10_000 / m  # the regime itself
+        assert small == pytest.approx(k * 10_000 / m + k * k * m)
+
+    def test_eim_cost_positive_and_superlinear(self):
+        assert eim_cost(10_000, 10, 50) > 0
+        # n^(1+eps) log n growth: doubling n more than doubles cost.
+        assert eim_cost(200_000, 10, 50) > 2 * eim_cost(100_000, 10, 50)
+
+    def test_eim_slowdown_formula(self):
+        n, eps = 100_000, 0.1
+        damp = 1 - n**-eps
+        expect = n**eps * math.log(n) / damp**2
+        assert eim_expected_slowdown(n, eps) == pytest.approx(expect)
+
+    def test_eim_slowdown_is_large(self):
+        # The analysis predicts roughly two orders of magnitude at n=10^6.
+        assert 50 < eim_expected_slowdown(1_000_000) < 500
+
+    def test_invalid_args(self):
+        with pytest.raises(InvalidParameterError):
+            gon_cost(-1, 2)
+        with pytest.raises(InvalidParameterError):
+            mrg_cost(10, 2, 0)
+        with pytest.raises(InvalidParameterError):
+            eim_cost(10, 2, 5, eps=1.5)
+
+    def test_ratio_consistency(self):
+        """EIM/MRG cost ratio ~ the predicted slowdown when kn/m dominates."""
+        n, k, m, eps = 1_000_000, 10, 50, 0.1
+        ratio = eim_cost(n, k, m, eps) / (k * n / m)
+        assert ratio == pytest.approx(eim_expected_slowdown(n, eps), rel=1e-9)
+
+
+class TestTable1:
+    def test_rows_verbatim(self):
+        rows = table1_rows()
+        assert [r.algorithm for r in rows] == ["GON [9]", "MRG", "EIM [8]"]
+        assert [r.approx_factor for r in rows] == ["2", "4", "10"]
+        assert rows[1].rounds == "2"
+        assert "1/eps" in rows[2].rounds
+
+
+class TestPhiBound:
+    def test_paper_grid_verdicts(self):
+        """phi in {6, 8} must be feasible; phi = 1 must not (Section 7.2
+        benchmarks 4 and 1 as 'below the bound')."""
+        assert phi_feasible(8.0)
+        assert phi_feasible(6.0)
+        assert not phi_feasible(1.0)
+
+    def test_feasibility_monotone_in_phi(self):
+        t = phi_feasibility_threshold()
+        for phi in (t + 0.01, t + 1, t + 10):
+            assert phi_feasible(phi)
+        for phi in (t - 0.01, t / 2):
+            assert not phi_feasible(phi)
+
+    def test_threshold_below_paper_quote(self):
+        """Inequality (2) evaluated as printed yields a threshold a bit
+        below the paper's quoted 5.15 (documented discrepancy)."""
+        t = phi_feasibility_threshold()
+        assert 3.0 < t < PHI_PAPER_THRESHOLD
+
+    def test_larger_gamma_needs_larger_phi(self):
+        assert phi_feasibility_threshold(gamma=1.0) > phi_feasibility_threshold(gamma=0.0)
+
+    def test_smaller_b_needs_larger_phi(self):
+        assert phi_feasibility_threshold(b=3.0) > phi_feasibility_threshold(b=5.0)
+
+    def test_invalid_args(self):
+        with pytest.raises(InvalidParameterError):
+            phi_feasible(0.0)
+        with pytest.raises(InvalidParameterError):
+            phi_feasible(5.0, b=6.0)
+        with pytest.raises(InvalidParameterError):
+            phi_feasible(5.0, gamma=-0.5)

@@ -1,0 +1,92 @@
+"""Unit tests for the simulated POKER HAND and KDD CUP 1999 stand-ins."""
+
+import numpy as np
+import pytest
+
+from repro.data.realistic import KDD_N, POKER_N, kddcup99, poker_hand
+from repro.errors import DatasetError
+
+
+class TestPokerHand:
+    def test_default_size_matches_uci(self):
+        assert POKER_N == 25_010
+
+    def test_schema(self):
+        pts = poker_hand(500, seed=0)
+        assert pts.shape == (500, 10)
+        suits = pts[:, 0::2]
+        ranks = pts[:, 1::2]
+        assert suits.min() >= 1 and suits.max() <= 4
+        assert ranks.min() >= 1 and ranks.max() <= 13
+        assert np.array_equal(pts, np.rint(pts)), "all-integer attributes"
+
+    def test_no_duplicate_cards_within_hand(self):
+        pts = poker_hand(2000, seed=1)
+        cards = (pts[:, 0::2] - 1) * 13 + (pts[:, 1::2] - 1)
+        for row in cards:
+            assert len(set(row.tolist())) == 5
+
+    def test_distance_scale_matches_paper(self):
+        """Paper Table 5 values are 8.4-19.4; the max possible Euclidean
+        distance on this encoding is sqrt(5*(3^2+12^2)) ~ 27.7."""
+        pts = poker_hand(3000, seed=0)
+        sample = pts[np.random.default_rng(0).choice(3000, 300, replace=False)]
+        from scipy.spatial.distance import pdist
+
+        d = pdist(sample)
+        assert d.max() < 27.8
+        assert d.max() > 15.0
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(poker_hand(100, seed=9), poker_hand(100, seed=9))
+
+    def test_invalid(self):
+        with pytest.raises(DatasetError):
+            poker_hand(0)
+
+
+class TestKddCup:
+    def test_default_size_matches_sample(self):
+        assert KDD_N == 494_021
+
+    def test_schema(self):
+        pts = kddcup99(2000, seed=0)
+        assert pts.shape == (2000, 38)
+        assert (pts >= 0).all()
+        # count columns bounded like the real features
+        assert pts[:, 3:6].max() <= 511
+        # rate columns in [0, 1]
+        assert pts[:, 6:].max() <= 1.0
+
+    def test_heavy_tails_span_decades(self):
+        pts = kddcup99(50_000, seed=0)
+        byte_cols = pts[:, :3]
+        assert byte_cols.max() > 1e7, "outlier transfers reach >= 10^7"
+        assert np.median(byte_cols) < 1e6
+        # Dynamic range of several decades drives Figure 1's log axis.
+        assert byte_cols.max() / max(byte_cols.min(), 1.0) > 1e5
+
+    def test_dominated_cluster_structure(self):
+        _, labels = kddcup99(50_000, seed=0, return_labels=True)
+        counts = np.sort(np.bincount(labels))[::-1]
+        top2 = counts[:2].sum() / counts.sum()
+        assert top2 > 0.5, "two dominant traffic types (smurf/neptune-like)"
+
+    def test_outlier_fraction_zero(self):
+        pts = kddcup99(10_000, outlier_fraction=0.0, seed=0)
+        assert pts[:, :3].max() < 1e7
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            kddcup99(500, seed=4), kddcup99(500, seed=4)
+        )
+
+    def test_invalid(self):
+        with pytest.raises(DatasetError):
+            kddcup99(0)
+        with pytest.raises(DatasetError):
+            kddcup99(10, n_clusters=1)
+        with pytest.raises(DatasetError):
+            kddcup99(10, n_features=2)
+        with pytest.raises(DatasetError):
+            kddcup99(10, outlier_fraction=1.0)

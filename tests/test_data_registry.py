@@ -1,0 +1,42 @@
+"""Unit tests for the dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.data.registry import DATASETS, Dataset, make_dataset
+from repro.errors import DatasetError
+from repro.metric.euclidean import EuclideanSpace
+
+
+class TestMakeDataset:
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_all_registered_names_build(self, name):
+        ds = make_dataset(name, 200, seed=0)
+        assert isinstance(ds, Dataset)
+        assert ds.n == 200
+        assert ds.params["n"] == 200
+
+    def test_unknown_name(self):
+        with pytest.raises(DatasetError, match="unknown dataset"):
+            make_dataset("nope", 10)
+
+    def test_params_forwarded(self):
+        ds = make_dataset("gau", 300, seed=0, k_prime=7)
+        assert ds.params["k_prime"] == 7
+
+    def test_space_builds_euclidean(self):
+        ds = make_dataset("unif", 50, seed=0)
+        space = ds.space()
+        assert isinstance(space, EuclideanSpace)
+        assert space.n == 50
+        assert space.dim == ds.dim
+
+    def test_deterministic_per_seed(self):
+        a = make_dataset("unb", 100, seed=11)
+        b = make_dataset("unb", 100, seed=11)
+        np.testing.assert_array_equal(a.points, b.points)
+
+    def test_different_seeds_differ(self):
+        a = make_dataset("poker", 100, seed=1)
+        b = make_dataset("poker", 100, seed=2)
+        assert not np.array_equal(a.points, b.points)

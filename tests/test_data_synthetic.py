@@ -1,0 +1,117 @@
+"""Unit tests for the UNIF / GAU / UNB generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import clustered_points, gau, unb, unif
+from repro.errors import DatasetError
+
+
+class TestUnif:
+    def test_shape_and_range(self):
+        pts = unif(1000, side=100.0, seed=0)
+        assert pts.shape == (1000, 2)
+        assert pts.min() >= 0.0 and pts.max() <= 100.0
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(unif(50, seed=3), unif(50, seed=3))
+
+    def test_custom_dim(self):
+        assert unif(10, dim=5, seed=0).shape == (10, 5)
+
+    def test_roughly_uniform(self):
+        pts = unif(20_000, side=1.0, seed=0)
+        # Quadrant occupancy within 5% of a quarter each.
+        q = ((pts[:, 0] > 0.5).astype(int) * 2 + (pts[:, 1] > 0.5)).astype(int)
+        counts = np.bincount(q, minlength=4) / len(pts)
+        assert np.allclose(counts, 0.25, atol=0.05)
+
+    def test_invalid(self):
+        with pytest.raises(DatasetError):
+            unif(0)
+        with pytest.raises(DatasetError):
+            unif(10, side=-1.0)
+        with pytest.raises(DatasetError):
+            unif(10, dim=0)
+
+
+class TestGau:
+    def test_shape(self):
+        pts = gau(500, k_prime=5, seed=0)
+        assert pts.shape == (500, 3)
+
+    def test_labels_returned(self):
+        pts, labels = gau(500, k_prime=5, seed=0, return_labels=True)
+        assert labels.shape == (500,)
+        assert set(np.unique(labels)) <= set(range(5))
+
+    def test_clusters_roughly_balanced(self):
+        _, labels = gau(10_000, k_prime=10, seed=0, return_labels=True)
+        counts = np.bincount(labels, minlength=10)
+        assert counts.min() > 700 and counts.max() < 1300
+
+    def test_in_cluster_spread_matches_sigma(self):
+        pts, labels = gau(5000, k_prime=2, sigma=0.1, seed=0, return_labels=True)
+        c0 = pts[labels == 0]
+        spread = c0.std(axis=0).mean()
+        assert 0.05 < spread < 0.2
+
+    def test_scale_convention(self):
+        """Inter-cluster distances ~100, in-cluster radii ~1: the ratio the
+        paper's Table 2 values imply."""
+        pts, labels = gau(20_000, k_prime=25, seed=1, return_labels=True)
+        within = np.linalg.norm(
+            pts[labels == 0] - pts[labels == 0].mean(axis=0), axis=1
+        ).max()
+        overall = np.linalg.norm(pts.max(axis=0) - pts.min(axis=0))
+        assert within < 1.0
+        assert overall > 50.0
+
+    def test_invalid(self):
+        with pytest.raises(DatasetError):
+            gau(10, k_prime=0)
+
+
+class TestUnb:
+    def test_half_mass_in_one_cluster(self):
+        _, labels = unb(20_000, k_prime=25, seed=0, return_labels=True)
+        counts = np.bincount(labels, minlength=25)
+        frac = counts[0] / counts.sum()
+        assert 0.45 < frac < 0.55
+        # Remaining clusters are each ~ (1/2) / 24 of the data.
+        others = counts[1:] / counts.sum()
+        assert others.max() < 0.1
+
+    def test_heavy_fraction_parameter(self):
+        _, labels = unb(20_000, k_prime=10, heavy_fraction=0.8, seed=0, return_labels=True)
+        assert np.bincount(labels)[0] / 20_000 > 0.75
+
+    def test_invalid(self):
+        with pytest.raises(DatasetError):
+            unb(10, k_prime=1)
+        with pytest.raises(DatasetError):
+            unb(10, heavy_fraction=1.5)
+
+
+class TestClusteredPoints:
+    def test_weights_validation(self):
+        centers = np.zeros((2, 2))
+        with pytest.raises(DatasetError):
+            clustered_points(10, centers, np.array([1.0]), 0.1)
+        with pytest.raises(DatasetError):
+            clustered_points(10, centers, np.array([-1.0, 2.0]), 0.1)
+        with pytest.raises(DatasetError):
+            clustered_points(10, centers, np.array([0.0, 0.0]), 0.1)
+
+    def test_sigma_zero_collapses_to_centers(self):
+        centers = np.array([[0.0, 0.0], [10.0, 10.0]])
+        pts, labels = clustered_points(100, centers, np.array([1.0, 1.0]), 0.0, seed=0)
+        np.testing.assert_allclose(pts, centers[labels])
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(DatasetError):
+            clustered_points(10, np.zeros((2, 2)), np.ones(2), -0.1)
+
+    def test_bad_centers_rejected(self):
+        with pytest.raises(DatasetError):
+            clustered_points(10, np.zeros((0, 2)), np.ones(0), 0.1)

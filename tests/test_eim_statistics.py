@@ -1,0 +1,86 @@
+"""Statistical sanity checks on EIM's sampling behaviour.
+
+Lemma 5 bounds the per-iteration shrinkage of R; the Section-5 analysis
+gives expected sample sizes.  These tests check the *measured* iteration
+traces against loose versions of those predictions on a fixed seed grid
+(deterministic, so they never flake) — catching regressions where the
+sampling probabilities or the removal rule drift from the paper's
+constants.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.eim import EIMParams, eim
+from repro.data.registry import make_dataset
+
+
+@pytest.fixture(scope="module")
+def trace():
+    """Iteration traces across several seeds on one workload."""
+    space = make_dataset("gau", 30_000, seed=0, k_prime=10).space()
+    runs = [eim(space, 3, m=20, seed=s, evaluate=False) for s in range(5)]
+    return space.n, runs
+
+
+class TestSampleSizes:
+    def test_expected_new_sample_size(self, trace):
+        """First-iteration |new S| concentrates near 9 k n^eps ln n."""
+        n, runs = trace
+        expect = 9 * 3 * n**0.1 * math.log(n)
+        observed = [r.extra["iteration_sizes"][0]["new_S"] for r in runs]
+        mean = np.mean(observed)
+        assert 0.7 * expect < mean < 1.3 * expect
+
+    def test_expected_pivot_pool_size(self, trace):
+        """First-iteration |H| concentrates near 4 n^eps ln n."""
+        n, runs = trace
+        expect = 4 * n**0.1 * math.log(n)
+        mean = np.mean([r.extra["iteration_sizes"][0]["H"] for r in runs])
+        assert 0.6 * expect < mean < 1.5 * expect
+
+    def test_shrinkage_within_loose_lemma5_band(self, trace):
+        """Per-iteration |R_{l+1}| / |R_l| near (phi/4)/n^eps in expectation;
+        Lemma 5's band is [1, 5]/n^eps — we assert a loosened version."""
+        n, runs = trace
+        n_eps = n**0.1
+        ratios = []
+        for r in runs:
+            sizes = r.extra["iteration_sizes"]
+            for it in sizes:
+                if it["R"] - it["removed"] > 0:
+                    ratios.append((it["R"] - it["removed"]) / it["R"])
+        mean_ratio = np.mean(ratios)
+        predicted = (8.0 / 4.0) / n_eps  # phi=8
+        assert 0.5 * predicted < mean_ratio < 2.0 * predicted
+
+    def test_loop_terminates_at_threshold(self, trace):
+        n, runs = trace
+        params = EIMParams()
+        threshold = params.loop_threshold(n, 3)
+        for r in runs:
+            sizes = r.extra["iteration_sizes"]
+            # Every executed iteration started above the threshold...
+            for it in sizes:
+                assert it["R"] > threshold
+            # ...and the loop exited below it.
+            last = sizes[-1]
+            assert last["R"] - last["removed"] <= threshold
+
+
+class TestPhiEffectOnShrinkage:
+    def test_low_phi_removes_more_per_iteration(self):
+        """The pivot-rank mechanism itself: phi=1's first-iteration removal
+        fraction exceeds phi=8's (farther pivot -> more points inside)."""
+        space = make_dataset("gau", 30_000, seed=1, k_prime=10).space()
+        fracs = {}
+        for phi in (1.0, 8.0):
+            removed = []
+            for s in range(3):
+                r = eim(space, 3, m=20, seed=s, phi=phi, evaluate=False)
+                it = r.extra["iteration_sizes"][0]
+                removed.append(it["removed"] / it["R"])
+            fracs[phi] = np.mean(removed)
+        assert fracs[1.0] > fracs[8.0]

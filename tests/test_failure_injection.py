@@ -1,0 +1,109 @@
+"""Failure injection: malformed inputs and degenerate geometries.
+
+Every algorithm must either handle these or fail loudly with a library
+error — never hang, never return garbage silently.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.eim import eim
+from repro.core.gonzalez import gonzalez
+from repro.core.mrg import mrg
+from repro.errors import MetricError, ReproError
+from repro.metric.euclidean import EuclideanSpace
+from repro.metric.kernels import as_points
+
+
+class TestMalformedCoordinates:
+    def test_nan_rejected_at_space_construction(self):
+        pts = np.ones((10, 2))
+        pts[3, 1] = np.nan
+        with pytest.raises(MetricError, match="non-finite"):
+            EuclideanSpace(pts)
+
+    def test_inf_rejected(self):
+        pts = np.ones((10, 2))
+        pts[0, 0] = np.inf
+        with pytest.raises(MetricError, match="non-finite"):
+            EuclideanSpace(pts)
+
+    def test_3d_array_rejected(self):
+        with pytest.raises(MetricError):
+            EuclideanSpace(np.ones((2, 3, 4)))
+
+    def test_object_dtype_rejected(self):
+        with pytest.raises((MetricError, ValueError, TypeError)):
+            as_points(np.array([[object()], [object()]]))
+
+    def test_all_errors_are_repro_errors(self):
+        """Callers can catch the whole library with one except clause."""
+        assert issubclass(MetricError, ReproError)
+
+
+class TestDegenerateGeometries:
+    @pytest.fixture
+    def algorithms(self):
+        return [
+            ("GON", lambda s, k: gonzalez(s, k, seed=0)),
+            ("MRG", lambda s, k: mrg(s, k, m=3, seed=0)),
+            ("EIM", lambda s, k: eim(s, k, m=3, seed=0)),
+        ]
+
+    def test_all_points_identical(self, algorithms):
+        space = EuclideanSpace(np.full((500, 3), 7.0))
+        for name, run in algorithms:
+            res = run(space, 3)
+            assert res.radius == pytest.approx(0.0, abs=1e-7), name
+            assert res.n_centers >= 1, name
+
+    def test_two_distinct_locations(self, algorithms):
+        pts = np.zeros((400, 2))
+        pts[::2] = [10.0, 0.0]
+        space = EuclideanSpace(pts)
+        for name, run in algorithms:
+            res = run(space, 2)
+            assert res.radius == pytest.approx(0.0, abs=1e-7), name
+
+    def test_collinear_points(self, algorithms):
+        pts = np.zeros((300, 2))
+        pts[:, 0] = np.linspace(0, 100, 300)
+        space = EuclideanSpace(pts)
+        for name, run in algorithms:
+            res = run(space, 4)
+            # 4 centers on a length-100 segment: radius around 100/8,
+            # never worse than the 2/4/10-approx of that.
+            assert res.radius <= 60.0, name
+
+    def test_single_point(self, algorithms):
+        space = EuclideanSpace(np.array([[1.0, 2.0]]))
+        for name, run in algorithms:
+            res = run(space, 5)
+            assert res.n_centers == 1, name
+            assert res.radius == 0.0, name
+
+    def test_huge_coordinate_scale(self, algorithms):
+        """1e8-scale coordinates: GEMM round-off must not produce negative
+        or NaN distances anywhere in the pipeline."""
+        rng = np.random.default_rng(0)
+        pts = rng.normal(size=(300, 3)) * 1e8
+        space = EuclideanSpace(pts)
+        for name, run in algorithms:
+            res = run(space, 3)
+            assert np.isfinite(res.radius), name
+            assert res.radius >= 0.0, name
+
+    def test_tiny_coordinate_scale(self, algorithms):
+        rng = np.random.default_rng(0)
+        pts = rng.normal(size=(300, 3)) * 1e-8
+        space = EuclideanSpace(pts)
+        for name, run in algorithms:
+            res = run(space, 3)
+            assert np.isfinite(res.radius) and res.radius >= 0.0, name
+
+    def test_high_dimension(self, algorithms):
+        rng = np.random.default_rng(0)
+        space = EuclideanSpace(rng.normal(size=(200, 300)))
+        for name, run in algorithms:
+            res = run(space, 3)
+            assert res.radius > 0, name

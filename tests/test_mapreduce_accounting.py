@@ -1,0 +1,74 @@
+"""Unit tests for round/job cost accounting."""
+
+import pytest
+
+from repro.mapreduce.accounting import JobStats, RoundStats
+
+
+class TestRoundStats:
+    def test_parallel_time_is_max(self):
+        r = RoundStats("r", task_times=[0.1, 0.5, 0.2], task_sizes=[10, 10, 10])
+        assert r.parallel_time == 0.5
+
+    def test_cpu_time_is_sum(self):
+        r = RoundStats("r", task_times=[0.1, 0.5, 0.2], task_sizes=[1, 2, 3])
+        assert r.cpu_time == pytest.approx(0.8)
+
+    def test_empty_round(self):
+        r = RoundStats("empty")
+        assert r.parallel_time == 0.0
+        assert r.cpu_time == 0.0
+        assert r.max_task_size == 0
+        assert r.n_tasks == 0
+
+    def test_max_task_size(self):
+        r = RoundStats("r", task_times=[0.0, 0.0], task_sizes=[7, 100])
+        assert r.max_task_size == 100
+
+
+class TestJobStats:
+    def _job(self) -> JobStats:
+        job = JobStats()
+        job.add(RoundStats("a", task_times=[0.2, 0.4], task_sizes=[5, 5],
+                           shuffle_elements=10, dist_evals=100))
+        job.add(RoundStats("b", task_times=[0.3], task_sizes=[8],
+                           shuffle_elements=8, dist_evals=50))
+        return job
+
+    def test_parallel_time_sums_round_maxima(self):
+        assert self._job().parallel_time == pytest.approx(0.4 + 0.3)
+
+    def test_cpu_time_sums_everything(self):
+        assert self._job().cpu_time == pytest.approx(0.2 + 0.4 + 0.3)
+
+    def test_counters(self):
+        job = self._job()
+        assert job.n_rounds == 2
+        assert job.shuffle_elements == 18
+        assert job.dist_evals == 150
+        assert job.max_machine_load == 8
+
+    def test_parallel_never_exceeds_cpu(self):
+        job = self._job()
+        assert job.parallel_time <= job.cpu_time
+
+    def test_merged_preserves_order(self):
+        a, b = self._job(), self._job()
+        merged = a.merged(b)
+        assert merged.n_rounds == 4
+        assert [r.label for r in merged.rounds] == ["a", "b", "a", "b"]
+        # Originals untouched.
+        assert a.n_rounds == 2 and b.n_rounds == 2
+
+    def test_summary_keys(self):
+        s = self._job().summary()
+        assert set(s) == {
+            "rounds", "parallel_time", "cpu_time", "shuffle_elements",
+            "dist_evals", "max_machine_load",
+        }
+
+    def test_empty_job(self):
+        job = JobStats()
+        assert job.parallel_time == 0.0
+        assert job.max_machine_load == 0
+        assert job.n_rounds == 0

@@ -1,0 +1,93 @@
+"""Unit tests for the declarative MapReduce job layer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.job import MapReduceJob, MapReduceRound
+
+
+def _split(state, m, rng):
+    """Partition a list into m roughly equal chunks."""
+    chunks = [state[i::m] for i in range(m)]
+    return [c for c in chunks if c]
+
+
+class TestMapReduceJob:
+    def test_word_count_style_job(self):
+        # Round 1: per-machine partial sums; round 2: single-machine total.
+        rounds = [
+            MapReduceRound(
+                label="partial-sum",
+                partition=_split,
+                reduce=lambda payload, rng: sum(payload),
+            ),
+            MapReduceRound(
+                label="total",
+                partition=lambda sums, m, rng: [sums],
+                reduce=lambda payload, rng: sum(payload),
+                combine=lambda results: results[0],
+            ),
+        ]
+        cluster = SimulatedCluster(m=4)
+        total = MapReduceJob(rounds).run(cluster, list(range(101)), seed=0)
+        assert total == sum(range(101))
+        assert cluster.stats.n_rounds == 2
+
+    def test_per_machine_rngs_are_deterministic(self):
+        rnd = MapReduceRound(
+            label="draw",
+            partition=lambda state, m, rng: [None] * m,
+            reduce=lambda payload, rng: rng.integers(0, 10**9),
+        )
+        a = MapReduceJob([rnd]).run(SimulatedCluster(m=3), None, seed=7)
+        b = MapReduceJob([rnd]).run(SimulatedCluster(m=3), None, seed=7)
+        assert a == b
+        c = MapReduceJob([rnd]).run(SimulatedCluster(m=3), None, seed=8)
+        assert a != c
+
+    def test_machine_rngs_are_independent(self):
+        rnd = MapReduceRound(
+            label="draw",
+            partition=lambda state, m, rng: [None] * m,
+            reduce=lambda payload, rng: rng.integers(0, 10**9),
+        )
+        draws = MapReduceJob([rnd]).run(SimulatedCluster(m=4), None, seed=7)
+        assert len(set(draws)) == 4
+
+    def test_rounds_draw_fresh_rngs(self):
+        """Successive rounds must not reuse the same machine streams."""
+        rnd = MapReduceRound(
+            label="draw",
+            partition=lambda state, m, rng: [None] * m,
+            reduce=lambda payload, rng: int(rng.integers(0, 10**9)),
+            combine=lambda results: results,
+        )
+        out = MapReduceJob([rnd, rnd]).run(SimulatedCluster(m=3), None, seed=7)
+        # The job threads state: after round 2, `out` is round 2's draws.
+        first = MapReduceJob([rnd]).run(SimulatedCluster(m=3), None, seed=7)
+        assert out != first
+
+    def test_too_many_payloads_rejected(self):
+        rnd = MapReduceRound(
+            label="bad",
+            partition=lambda state, m, rng: [None] * (m + 1),
+            reduce=lambda payload, rng: None,
+        )
+        with pytest.raises(InvalidParameterError, match="payloads"):
+            MapReduceJob([rnd]).run(SimulatedCluster(m=2), None, seed=0)
+
+    def test_empty_job_rejected(self):
+        with pytest.raises(InvalidParameterError, match="at least one round"):
+            MapReduceJob([])
+
+    def test_size_of_default_handles_unsized(self):
+        rnd = MapReduceRound(
+            label="unsized",
+            partition=lambda state, m, rng: [object()],
+            reduce=lambda payload, rng: "ok",
+        )
+        cluster = SimulatedCluster(m=1)
+        MapReduceJob([rnd]).run(cluster, None, seed=0)
+        assert cluster.stats.rounds[0].task_sizes == [1]

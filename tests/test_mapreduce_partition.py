@@ -1,0 +1,106 @@
+"""Unit and property tests for the mapper-side partitioners.
+
+All partitioners must uphold Algorithm 1's invariant: the shards are
+disjoint, cover range(n), and each has at most ceil(n/m) elements.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.mapreduce.partition import (
+    PARTITIONERS,
+    block_partition,
+    hash_partition,
+    random_partition,
+)
+
+
+def _check_invariants(parts, n, m):
+    assert len(parts) == m
+    cap = -(-n // m) if n else 0
+    all_idx = np.concatenate(parts) if parts else np.empty(0, dtype=np.intp)
+    assert len(all_idx) == n
+    assert len(np.unique(all_idx)) == n, "shards must be disjoint and cover"
+    if n:
+        assert all_idx.min() == 0 and all_idx.max() == n - 1
+    for p in parts:
+        assert len(p) <= cap, f"shard of {len(p)} exceeds ceil(n/m)={cap}"
+
+
+@pytest.mark.parametrize("name", sorted(PARTITIONERS))
+class TestInvariantsAllPartitioners:
+    @pytest.mark.parametrize("n,m", [(0, 3), (1, 1), (10, 3), (100, 7), (5, 10)])
+    def test_invariants(self, name, n, m):
+        fn = PARTITIONERS[name]
+        parts = fn(n, m, 0) if name == "random" else fn(n, m)
+        _check_invariants(parts, n, m)
+
+    def test_invalid_args(self, name):
+        fn = PARTITIONERS[name]
+        with pytest.raises(InvalidParameterError):
+            fn(-1, 2)
+        with pytest.raises(InvalidParameterError):
+            fn(10, 0)
+
+
+class TestBlockPartition:
+    def test_contiguous_and_ordered(self):
+        parts = block_partition(10, 3)
+        np.testing.assert_array_equal(parts[0], [0, 1, 2])
+        np.testing.assert_array_equal(np.concatenate(parts), np.arange(10))
+
+    @given(n=st.integers(0, 2000), m=st.integers(1, 60))
+    @settings(max_examples=80, deadline=None)
+    def test_property_invariants(self, n, m):
+        _check_invariants(block_partition(n, m), n, m)
+
+    @given(n=st.integers(1, 2000), m=st.integers(1, 60))
+    @settings(max_examples=50, deadline=None)
+    def test_property_balanced(self, n, m):
+        sizes = [len(p) for p in block_partition(n, m)]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestRandomPartition:
+    def test_deterministic_in_seed(self):
+        a = random_partition(50, 4, seed=3)
+        b = random_partition(50, 4, seed=3)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_seeds_differ(self):
+        a = random_partition(200, 4, seed=1)
+        b = random_partition(200, 4, seed=2)
+        assert any(not np.array_equal(x, y) for x, y in zip(a, b))
+
+    @given(n=st.integers(0, 1000), m=st.integers(1, 40), seed=st.integers(0, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_property_invariants(self, n, m, seed):
+        _check_invariants(random_partition(n, m, seed=seed), n, m)
+
+
+class TestHashPartition:
+    def test_deterministic(self):
+        a = hash_partition(123, 7)
+        b = hash_partition(123, 7)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_salt_changes_assignment(self):
+        a = hash_partition(500, 7, salt=0)
+        b = hash_partition(500, 7, salt=1)
+        assert any(not np.array_equal(x, y) for x, y in zip(a, b))
+
+    @given(n=st.integers(0, 1000), m=st.integers(1, 40), salt=st.integers(0, 20))
+    @settings(max_examples=60, deadline=None)
+    def test_property_invariants(self, n, m, salt):
+        _check_invariants(hash_partition(n, m, salt=salt), n, m)
+
+    def test_roughly_balanced_before_spill(self):
+        parts = hash_partition(10_000, 10)
+        sizes = np.array([len(p) for p in parts])
+        assert sizes.max() <= 1000  # the strict cap
+        assert sizes.min() >= 800  # hash balance keeps loads near n/m

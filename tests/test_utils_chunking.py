@@ -1,0 +1,69 @@
+"""Unit and property tests for repro.utils.chunking."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.chunking import chunk_slices, resolve_chunk_size
+
+
+class TestChunkSlices:
+    def test_exact_division(self):
+        slices = list(chunk_slices(10, 5))
+        assert slices == [slice(0, 5), slice(5, 10)]
+
+    def test_remainder(self):
+        slices = list(chunk_slices(7, 3))
+        assert slices == [slice(0, 3), slice(3, 6), slice(6, 7)]
+
+    def test_zero_total(self):
+        assert list(chunk_slices(0, 4)) == []
+
+    def test_chunk_larger_than_total(self):
+        assert list(chunk_slices(3, 100)) == [slice(0, 3)]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            list(chunk_slices(-1, 2))
+        with pytest.raises(ValueError):
+            list(chunk_slices(5, 0))
+
+    @given(total=st.integers(0, 5000), chunk=st.integers(1, 700))
+    def test_property_cover_disjoint_ordered(self, total, chunk):
+        slices = list(chunk_slices(total, chunk))
+        covered = 0
+        for sl in slices:
+            assert sl.start == covered, "slices must be contiguous"
+            assert 0 < sl.stop - sl.start <= chunk
+            covered = sl.stop
+        assert covered == total
+
+
+class TestResolveChunkSize:
+    def test_respects_budget(self):
+        rows = resolve_chunk_size(other_rows=1000, itemsize=8, block_bytes=800_000)
+        assert 16 <= rows * 1000 * 8 <= 800_000
+
+    def test_minimum_floor(self):
+        assert resolve_chunk_size(10**9, block_bytes=1024, minimum=16) == 16
+
+    def test_zero_reference_set(self):
+        assert resolve_chunk_size(0, itemsize=8, block_bytes=800) == 100
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            resolve_chunk_size(-1)
+        with pytest.raises(ValueError):
+            resolve_chunk_size(10, itemsize=0)
+        with pytest.raises(ValueError):
+            resolve_chunk_size(10, block_bytes=0)
+
+    @given(
+        other=st.integers(1, 10**6),
+        budget=st.integers(1024, 2**26),
+    )
+    def test_property_budget_or_minimum(self, other, budget):
+        rows = resolve_chunk_size(other, block_bytes=budget)
+        assert rows >= 16
+        # Either within budget, or pinned at the minimum.
+        assert rows * other * 8 <= budget or rows == 16

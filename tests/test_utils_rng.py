@@ -1,0 +1,81 @@
+"""Unit tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import SeedStream, as_generator, spawn_generators, spawn_seeds
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        a = as_generator(7).random(5)
+        b = as_generator(7).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_distinct_ints_differ(self):
+        assert not np.array_equal(as_generator(1).random(5), as_generator(2).random(5))
+
+    def test_generator_passthrough_shares_state(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_seed_sequence_accepted(self):
+        ss = np.random.SeedSequence(42)
+        a = as_generator(ss).random(3)
+        b = as_generator(np.random.SeedSequence(42)).random(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError, match="seed must be"):
+            as_generator("not a seed")
+
+
+class TestSpawn:
+    def test_spawn_counts(self):
+        assert len(spawn_seeds(0, 4)) == 4
+        assert len(spawn_generators(0, 3)) == 3
+
+    def test_spawn_zero(self):
+        assert spawn_seeds(0, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            spawn_seeds(0, -1)
+
+    def test_children_are_independent(self):
+        g1, g2 = spawn_generators(123, 2)
+        assert not np.array_equal(g1.random(10), g2.random(10))
+
+    def test_same_root_same_children(self):
+        a = [g.random(4) for g in spawn_generators(9, 3)]
+        b = [g.random(4) for g in spawn_generators(9, 3)]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+
+class TestSeedStream:
+    def test_successive_calls_do_not_repeat(self):
+        stream = SeedStream(5)
+        first = stream.generators(2)
+        second = stream.generators(2)
+        draws = [g.random(8) for g in first + second]
+        for i in range(len(draws)):
+            for j in range(i + 1, len(draws)):
+                assert not np.array_equal(draws[i], draws[j])
+
+    def test_deterministic_in_root(self):
+        a = SeedStream(11)
+        b = SeedStream(11)
+        a.generators(3)
+        b.generators(3)
+        np.testing.assert_array_equal(a.generator().random(5), b.generator().random(5))
+
+    def test_generator_returns_single(self):
+        assert isinstance(SeedStream(0).generator(), np.random.Generator)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            SeedStream(0).seeds(-2)

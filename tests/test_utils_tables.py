@@ -1,0 +1,60 @@
+"""Unit tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import format_table, format_value
+
+
+class TestFormatValue:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (96.04, "96.04"),
+            (0.961, "0.9610"),
+            (9.144, "9.144"),
+            (0, "0"),
+            (0.0, "0.000"),
+            (12, "12"),
+            ("abc", "abc"),
+            (None, "None"),
+            (True, "True"),
+        ],
+    )
+    def test_paper_style_formatting(self, value, expected):
+        assert format_value(value) == expected
+
+    def test_nan(self):
+        assert format_value(float("nan")) == "nan"
+
+    def test_huge_and_tiny_use_exponent(self):
+        assert "e" in format_value(3.2e9)
+        assert "e" in format_value(4.1e-7)
+
+    def test_negative(self):
+        assert format_value(-9.144) == "-9.144"
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        out = format_table(["k", "v"], [[2, 96.04], [100, 0.961]])
+        lines = out.splitlines()
+        assert lines[0].strip().startswith("k")
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1, "all lines equal width"
+
+    def test_title(self):
+        out = format_table(["a"], [[1]], title="Table X")
+        assert out.splitlines()[0] == "Table X"
+
+    def test_markdown_mode(self):
+        out = format_table(["a", "b"], [[1, 2]], markdown=True)
+        assert out.splitlines()[1].startswith("|-")
+        assert out.splitlines()[0].startswith("| ")
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out and "b" in out
