@@ -24,9 +24,9 @@ from repro import (
     MinkowskiSpace,
     PrecomputedSpace,
     assign,
-    gonzalez,
     greedy_lower_bound,
-    hochbaum_shmoys,
+    solve,
+    solve_many,
 )
 from repro.utils.rng import as_generator
 from repro.utils.tables import format_table
@@ -60,7 +60,7 @@ def main() -> None:
 
     print(f"clustering {space.n} documents (vocab {VOCAB}) into {k} groups, L1 metric\n")
 
-    result = gonzalez(space, k, seed=0)
+    result = solve(space, k, algorithm="gon", seed=0)
     labels, dists = assign(space, result.centers)
 
     rows = []
@@ -88,8 +88,10 @@ def main() -> None:
     # --- Alternative baseline (paper future work): Hochbaum-Shmoys ------
     sample = np.arange(0, space.n, 4, dtype=np.intp)  # HS is O(n^2): subsample
     sub = space.local(sample)
-    hs = hochbaum_shmoys(sub, k)
-    gon_sub = gonzalez(sub, k, seed=0)
+    # Head-to-head comparison in one registry-driven batch call.
+    pair = solve_many(sub, k, algorithms=("hs", "gon"), seeds=(0,))
+    hs = pair["hs", 0]
+    gon_sub = pair["gon", 0]
     print(f"\non a {sub.n}-document subsample: HS radius {hs.radius:.3f} "
           f"vs GON radius {gon_sub.radius:.3f} (both 2-approximations)")
 
@@ -99,7 +101,7 @@ def main() -> None:
     tiny = sub.local(np.arange(200, dtype=np.intp))
     dmat = tiny.cross(None, None)
     external = PrecomputedSpace(dmat)
-    ext_result = gonzalez(external, k, seed=0)
+    ext_result = solve(external, k, algorithm="gon", seed=0)
     print(f"PrecomputedSpace route on 200 documents: radius {ext_result.radius:.3f}")
 
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import EuclideanSpace, assign, gonzalez, mrg
+from repro import EuclideanSpace, assign, solve
 from repro.core.assignment import cluster_sizes
 from repro.utils.rng import as_generator
 from repro.utils.tables import format_table
@@ -50,7 +50,7 @@ def main() -> None:
 
     print(f"placing {k} depots for {space.n} addresses\n")
 
-    plan = mrg(space, k, m=20, seed=1)
+    plan = solve(space, k, algorithm="mrg", m=20, seed=1)
     labels, dists = assign(space, plan.centers)
     sizes = cluster_sizes(labels, plan.n_centers)
 
@@ -80,7 +80,7 @@ def main() -> None:
           f"simulated parallel time over {plan.n_rounds} MapReduce rounds")
 
     # Sanity: the sequential baseline agrees on the objective's scale.
-    baseline = gonzalez(space, k, seed=1)
+    baseline = solve(space, k, algorithm="gon", seed=1)
     print(f"sequential baseline (GON) worst-case: {baseline.radius:.2f} km")
 
     # The remote villages are tiny but force dedicated depots: the

@@ -15,7 +15,7 @@ its theoretical status from :mod:`repro.core.theory`.
 
 from __future__ import annotations
 
-from repro import EuclideanSpace, eim, gau, gonzalez
+from repro import EuclideanSpace, gau, solve, solve_many
 from repro.core.theory import PHI_PAPER_THRESHOLD, phi_feasibility_threshold, phi_feasible
 from repro.utils.tables import format_table
 
@@ -23,7 +23,7 @@ from repro.utils.tables import format_table
 def main() -> None:
     n, k = 60_000, 25
     space = EuclideanSpace(gau(n, k_prime=25, seed=9))
-    baseline = gonzalez(space, k, seed=0)
+    baseline = solve(space, k, algorithm="gon", seed=0)
 
     print(f"EIM phi sweep on GAU (n={n}, k'=k={k}); "
           f"GON baseline radius {baseline.radius:.3f}\n")
@@ -31,9 +31,18 @@ def main() -> None:
     print(f"Inequality (2) solved exactly:      phi > "
           f"{phi_feasibility_threshold():.3f}\n")
 
+    # One batch call fans the whole phi sweep out through the registry;
+    # the per-entry label keeps each variant's key distinct.
+    phis = (1.0, 2.0, 4.0, 6.0, 8.0, 12.0)
+    sweep = solve_many(
+        space,
+        k,
+        algorithms=[("eim", {"phi": phi, "label": f"phi={phi:g}"}) for phi in phis],
+        seeds=(0,),
+        m=50,
+    )
     rows = []
-    for phi in (1.0, 2.0, 4.0, 6.0, 8.0, 12.0):
-        res = eim(space, k, m=50, seed=0, phi=phi)
+    for phi, res in zip(phis, sweep.values()):
         status = "guaranteed (10x w.s.p.)" if phi_feasible(phi) else "no guarantee"
         rows.append(
             [

@@ -7,22 +7,16 @@ Run::
 
 This walks the public API end to end: build a metric space, run the
 sequential baseline (GON), the fast parallel algorithm (MRG) and the
-sampling algorithm (EIM), then compare solution quality, simulated
-parallel runtimes and the certified optimality gap.
+sampling algorithm (EIM) through the unified :func:`repro.solve` facade,
+then compare solution quality, simulated parallel runtimes and the
+certified optimality gap.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro import (
-    EuclideanSpace,
-    eim,
-    gau,
-    gonzalez,
-    greedy_lower_bound,
-    mrg,
-)
+from repro import EuclideanSpace, gau, greedy_lower_bound, solve
 from repro.utils.tables import format_table
 
 
@@ -35,10 +29,11 @@ def main() -> None:
 
     print(f"clustering n={n} points into k={k} centers\n")
 
+    # One entry point for every registered algorithm: repro.solve.
     results = [
-        gonzalez(space, k, seed=0),  # sequential 2-approximation
-        mrg(space, k, m=50, seed=0),  # 2-round MapReduce, 4-approximation
-        eim(space, k, m=50, seed=0),  # iterative sampling, 10-approx w.s.p.
+        solve(space, k, algorithm="gon", seed=0),  # sequential 2-approx
+        solve(space, k, algorithm="mrg", m=50, seed=0),  # 2-round MR, 4-approx
+        solve(space, k, algorithm="eim", m=50, seed=0),  # sampling, 10-approx w.s.p.
     ]
 
     # Certified lower bound on the optimum: any solution value divided by

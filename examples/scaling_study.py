@@ -15,7 +15,7 @@ measured runtimes next to the Table 1 cost-model predictions, including
 
 from __future__ import annotations
 
-from repro import EuclideanSpace, eim, gau, gonzalez, mrg
+from repro import EuclideanSpace, gau, solve
 from repro.core.theory import eim_expected_slowdown, gon_cost, mrg_cost
 from repro.mapreduce.model import default_capacity, mrg_rounds_needed
 from repro.utils.tables import format_table
@@ -30,9 +30,9 @@ def main() -> None:
     rows = []
     for n in (10_000, 30_000, 100_000):
         space = EuclideanSpace(gau(n, k_prime=10, seed=5))
-        t_gon = gonzalez(space, K, seed=0).wall_time
-        r_mrg = mrg(space, K, m=M, seed=0, evaluate=False)
-        r_eim = eim(space, K, m=M, seed=0, evaluate=False)
+        t_gon = solve(space, K, algorithm="gon", seed=0).wall_time
+        r_mrg = solve(space, K, algorithm="mrg", m=M, seed=0, evaluate=False)
+        r_eim = solve(space, K, algorithm="eim", m=M, seed=0, evaluate=False)
         t_mrg = r_mrg.stats.parallel_time
         t_eim = r_eim.stats.parallel_time
         rows.append(

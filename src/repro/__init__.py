@@ -11,17 +11,26 @@ methodology.
 
 Quickstart
 ----------
->>> import numpy as np
->>> from repro import EuclideanSpace, gonzalez, mrg, eim
->>> points = np.random.default_rng(0).normal(size=(10_000, 3))
->>> space = EuclideanSpace(points)
->>> result = mrg(space, k=10, m=50, seed=0)
->>> result.radius            # the k-center objective value  # doctest: +SKIP
->>> result.stats.parallel_time  # simulated parallel runtime  # doctest: +SKIP
+Every algorithm runs through the unified :func:`repro.solve` facade
+(``algorithm`` is any name or alias from :func:`repro.list_solvers`):
 
-See README.md for the architecture overview, DESIGN.md for the system
-inventory and per-experiment index, and EXPERIMENTS.md for paper-vs-measured
-results.
+>>> import numpy as np
+>>> import repro
+>>> points = np.random.default_rng(0).normal(size=(10_000, 3))
+>>> space = repro.EuclideanSpace(points)
+>>> result = repro.solve(space, k=10, algorithm="mrg", m=50, seed=0)
+>>> result.algorithm, result.n_centers
+('MRG', 10)
+>>> result.radius > 0        # the k-center objective value
+True
+>>> batch = repro.solve_many(space, 10, algorithms=("gon", "eim"), seeds=(0,))
+>>> sorted(key.algorithm for key in batch)
+['eim', 'gon']
+
+The per-algorithm entry points (:func:`gonzalez`, :func:`mrg`,
+:func:`eim`, ...) remain available for direct calls with identical
+results.  See README.md for the architecture overview and the registry
+table, and EXPERIMENTS.md for paper-vs-measured results.
 """
 
 from repro.core import (
@@ -51,11 +60,32 @@ from repro.errors import (
 )
 from repro.mapreduce import SimulatedCluster
 from repro.metric import EuclideanSpace, MetricSpace, MinkowskiSpace, PrecomputedSpace
+from repro.solvers import (
+    BatchKey,
+    SolveConfig,
+    SolverSpec,
+    get_solver,
+    list_solvers,
+    register_solver,
+    solve,
+    solve_many,
+    solver_names,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    # solver facade & registry
+    "solve",
+    "solve_many",
+    "BatchKey",
+    "SolveConfig",
+    "SolverSpec",
+    "register_solver",
+    "get_solver",
+    "list_solvers",
+    "solver_names",
     # algorithms
     "gonzalez",
     "gonzalez_trace",

@@ -22,6 +22,7 @@ from repro.analysis.experiments import (
     gon_spec,
     mrg_spec,
     run_experiment,
+    solver_spec,
 )
 
 __all__ = [
@@ -30,6 +31,7 @@ __all__ = [
     "RunRecord",
     "run_experiment",
     "aggregate",
+    "solver_spec",
     "gon_spec",
     "mrg_spec",
     "eim_spec",

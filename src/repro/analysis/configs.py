@@ -23,9 +23,7 @@ from typing import Sequence
 from repro.analysis.experiments import (
     AlgorithmSpec,
     ExperimentSpec,
-    eim_spec,
-    gon_spec,
-    mrg_spec,
+    solver_spec,
 )
 from repro.analysis.paper import PAPER_K_GRID, PAPER_PHI_GRID
 from repro.errors import ExperimentError
@@ -99,12 +97,18 @@ def _reps(scale: str, real: bool = False) -> tuple[int, int]:
 
 def standard_algorithms(m: int = 50) -> list[AlgorithmSpec]:
     """The three algorithm families of Tables 2-5 / Figures 1-4."""
-    return [mrg_spec(m=m), eim_spec(m=m), gon_spec()]
+    return [
+        solver_spec("mrg", m=m),
+        solver_spec("eim", m=m),
+        solver_spec("gon"),
+    ]
 
 
 def phi_algorithms(m: int = 50, phis: Sequence[float] = PAPER_PHI_GRID) -> list[AlgorithmSpec]:
     """EIM at each phi of Tables 6-7."""
-    return [eim_spec(m=m, phi=phi, name=f"EIM(phi={phi:g})") for phi in phis]
+    return [
+        solver_spec("eim", name=f"EIM(phi={phi:g})", m=m, phi=phi) for phi in phis
+    ]
 
 
 def experiment_config(exp: str, scale: str | None = None, m: int = 50) -> ExperimentSpec:

@@ -14,17 +14,16 @@ algorithms x k — with a deterministic seed tree, producing flat
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from functools import partial
 from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
 
-from repro.core.eim import EIMParams, eim
-from repro.core.gonzalez import gonzalez
-from repro.core.mrg import mrg
 from repro.core.result import KCenterResult
 from repro.data.registry import make_dataset
 from repro.errors import ExperimentError
 from repro.metric.euclidean import EuclideanSpace
+from repro.solvers import get_solver, solve
 from repro.utils.rng import SeedStream
 
 __all__ = [
@@ -33,6 +32,7 @@ __all__ = [
     "RunRecord",
     "run_experiment",
     "aggregate",
+    "solver_spec",
     "gon_spec",
     "mrg_spec",
     "eim_spec",
@@ -50,19 +50,37 @@ class AlgorithmSpec:
     run: Callable[[EuclideanSpace, int, Any], KCenterResult]
 
 
+def _solve_with(algorithm: str, options: dict, space, k, seed) -> KCenterResult:
+    return solve(space, k, algorithm=algorithm, seed=seed, **options)
+
+
+def solver_spec(algorithm: str, name: str | None = None, **options) -> AlgorithmSpec:
+    """An :class:`AlgorithmSpec` routed through the solver registry.
+
+    ``algorithm`` is any registry name or alias; ``options`` may mix the
+    shared knobs (``m``, ``capacity``, ``evaluate``, ``executor``) with
+    solver-specific options — both are validated by :func:`repro.solve`
+    on the first run.  The harness supplies the per-run ``seed``, so it
+    must not appear in ``options``.
+    """
+    spec = get_solver(algorithm)
+    if "seed" in options:
+        raise ExperimentError(
+            "the experiment harness assigns per-run seeds; do not fix one "
+            f"in solver_spec({algorithm!r})"
+        )
+    label = name if name is not None else spec.label
+    return AlgorithmSpec(label, partial(_solve_with, spec.name, options))
+
+
 def gon_spec(name: str = "GON") -> AlgorithmSpec:
     """The sequential baseline."""
-    return AlgorithmSpec(name, lambda space, k, seed: gonzalez(space, k, seed=seed))
+    return solver_spec("gon", name=name)
 
 
 def mrg_spec(m: int = 50, partitioner="block", name: str = "MRG", **kwargs) -> AlgorithmSpec:
     """MRG with the paper's defaults (m=50, arbitrary partition)."""
-    return AlgorithmSpec(
-        name,
-        lambda space, k, seed: mrg(
-            space, k, m=m, partitioner=partitioner, seed=seed, **kwargs
-        ),
-    )
+    return solver_spec("mrg", name=name, m=m, partitioner=partitioner, **kwargs)
 
 
 def eim_spec(
@@ -73,12 +91,8 @@ def eim_spec(
     **kwargs,
 ) -> AlgorithmSpec:
     """EIM with the paper's defaults (m=50, eps=0.1, phi=8)."""
-    params = EIMParams(eps=eps, phi=phi)
     label = name if name is not None else ("EIM" if phi == 8.0 else f"EIM(phi={phi:g})")
-    return AlgorithmSpec(
-        label,
-        lambda space, k, seed: eim(space, k, m=m, params=params, seed=seed, **kwargs),
-    )
+    return solver_spec("eim", name=label, m=m, eps=eps, phi=phi, **kwargs)
 
 
 @dataclass(frozen=True)

@@ -12,13 +12,21 @@ from typing import Iterable, Sequence
 
 from repro.analysis.experiments import RunRecord, aggregate
 from repro.errors import ExperimentError
+from repro.solvers import get_solver
 
 __all__ = [
+    "STANDARD_COLUMNS",
     "solution_value_table",
     "runtime_table",
     "phi_table",
     "side_by_side",
 ]
+
+#: Column order of the paper's solution/runtime tables, expressed as the
+#: registry labels of the standard algorithm family.
+STANDARD_COLUMNS = tuple(
+    get_solver(name).label for name in ("mrg", "eim", "gon")
+)
 
 
 def _grid_values(
@@ -38,7 +46,7 @@ def _grid_values(
 
 def solution_value_table(
     records: Iterable[RunRecord],
-    algorithms: Sequence[str] = ("MRG", "EIM", "GON"),
+    algorithms: Sequence[str] = STANDARD_COLUMNS,
     ks: Sequence[int] = (2, 5, 10, 25, 50, 100),
 ) -> tuple[list[str], list[list]]:
     """Tables 2-5 layout: rows are k, columns are algorithms (values)."""
@@ -50,7 +58,7 @@ def solution_value_table(
 
 def runtime_table(
     records: Iterable[RunRecord],
-    algorithms: Sequence[str] = ("MRG", "EIM", "GON"),
+    algorithms: Sequence[str] = STANDARD_COLUMNS,
     ks: Sequence[int] = (2, 5, 10, 25, 50, 100),
 ) -> tuple[list[str], list[list]]:
     """Runtime analogue of the solution tables (simulated parallel time)."""

@@ -1,23 +1,32 @@
-"""Command-line interface: regenerate any paper table or figure.
+"""Command-line interface: run solvers and regenerate paper tables/figures.
 
 Examples
 --------
 ::
 
     repro-kcenter list
+    repro-kcenter solve list
+    repro-kcenter solve eim --k 10
+    repro-kcenter solve mrg --k 25 --n 100000 --dataset unif --m 50
+    repro-kcenter solve eim --k 10 --opt phi=4 --opt eps=0.2
     repro-kcenter run table3
     repro-kcenter run figure2a --scale paper
     repro-kcenter run table6 --m 50 --seed 7
     python -m repro.cli run figure4a
 
-Output is the paper-layout table (or ASCII chart) plus, where the paper
-published numbers, a side-by-side comparison and the qualitative shape
-checks from :mod:`repro.analysis.report`.
+``solve`` routes through the unified :func:`repro.solve` facade, so any
+algorithm registered via :func:`repro.solvers.register_solver` — including
+downstream plugins — is immediately runnable and shown by ``solve list``.
+``run`` reproduces a paper experiment; its output is the paper-layout
+table (or ASCII chart) plus, where the paper published numbers, a
+side-by-side comparison and the qualitative shape checks from
+:mod:`repro.analysis.report`.
 """
 
 from __future__ import annotations
 
 import argparse
+import ast
 import sys
 import time
 
@@ -44,12 +53,23 @@ from repro.analysis.report import (
     render_checks,
     speedup_summary,
 )
-from repro.analysis.tables import phi_table, runtime_table, side_by_side, solution_value_table
-from repro.utils.tables import format_table
+from repro.analysis.tables import (
+    STANDARD_COLUMNS,
+    phi_table,
+    runtime_table,
+    side_by_side,
+    solution_value_table,
+)
+from repro.data.registry import DATASETS, make_dataset
+from repro.errors import InvalidParameterError, ReproError
+from repro.solvers import SHARED_KNOBS, UNSET, get_solver, list_solvers, solve
+from repro.utils.tables import format_table, format_value
 
 __all__ = ["main"]
 
-_STANDARD = ("MRG", "EIM", "GON")
+#: Display order of the standard algorithm family in paper-layout tables,
+#: derived from the registry rather than hard-coded algorithm literals.
+_STANDARD = STANDARD_COLUMNS
 
 
 def _progress(message: str) -> None:
@@ -139,6 +159,85 @@ def _run_figure4(exp: str, scale: str, m: int, seed: int, quiet: bool) -> None:
         print(f"  EIM fell back to sequential GON at k in {fell_back}")
 
 
+def _parse_solver_option(item: str) -> tuple[str, object]:
+    """``--opt key=value`` with Python-literal values (fallback: string)."""
+    key, sep, raw = item.partition("=")
+    if not sep or not key.strip():
+        raise argparse.ArgumentTypeError(
+            f"solver option must look like key=value, got {item!r}"
+        )
+    try:
+        value = ast.literal_eval(raw)
+    except (ValueError, SyntaxError):
+        value = raw
+    return key.strip(), value
+
+
+def _print_solver_registry() -> None:
+    headers = ["name", "kind", "factor", "aliases", "options"]
+    rows = []
+    for spec in list_solvers():
+        rows.append(
+            [
+                spec.name,
+                spec.kind,
+                "-" if spec.approx_factor is None else f"{spec.approx_factor:g}",
+                ", ".join(spec.aliases) or "-",
+                ", ".join(sorted(spec.options)) or "-",
+            ]
+        )
+    print(format_table(headers, rows, title="registered k-center solvers"))
+    print()
+    for spec in list_solvers():
+        print(f"  {spec.name:<6} {spec.summary}")
+
+
+def _run_solve_command(args: argparse.Namespace) -> int:
+    if args.algorithm == "list":
+        _print_solver_registry()
+        return 0
+    spec = get_solver(args.algorithm)  # fail fast, before generating data
+    flags = {"m": "--m", "capacity": "--capacity", "seed": "--seed",
+             "evaluate": "--no-evaluate"}
+    for key, _ in args.opt:
+        if key in SHARED_KNOBS:
+            hint = (f"use {flags[key]}" if key in flags
+                    else "it is not settable from the CLI")
+            raise InvalidParameterError(
+                f"{key!r} is a shared knob, not a solver option; {hint}"
+            )
+    data_seed = args.data_seed if args.data_seed is not None else args.seed
+    dataset = make_dataset(args.dataset, args.n, seed=data_seed)
+    space = dataset.space()
+    if not args.quiet:
+        _progress(f"{args.dataset}: n={dataset.n}, dim={dataset.dim}")
+        _progress(f"solving with {spec.name} (kind={spec.kind}), k={args.k}")
+    result = solve(
+        space,
+        args.k,
+        algorithm=spec.name,
+        seed=args.seed,
+        m=args.m if args.m is not None else UNSET,
+        capacity=args.capacity if args.capacity is not None else UNSET,
+        evaluate=False if args.no_evaluate else UNSET,
+        **dict(args.opt),
+    )
+    summary = result.summary()
+    rows = [[key, format_value(value)] for key, value in summary.items()]
+    print(
+        format_table(
+            ["field", "value"],
+            rows,
+            title=f"{result.algorithm} on {args.dataset} (n={dataset.n}, k={args.k})",
+        )
+    )
+    if result.approx_factor is not None:
+        print(
+            f"\n  a-priori guarantee: radius <= {result.approx_factor:g} x OPT"
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-kcenter",
@@ -146,6 +245,43 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list reproducible experiment ids")
+    solve_cmd = sub.add_parser(
+        "solve", help="run one registered solver on a generated dataset"
+    )
+    solve_cmd.add_argument(
+        "algorithm",
+        help='solver name or alias (see "repro-kcenter solve list")',
+    )
+    solve_cmd.add_argument("--k", type=int, default=10, help="number of centers")
+    solve_cmd.add_argument("--n", type=int, default=20_000, help="dataset size")
+    solve_cmd.add_argument(
+        "--dataset", choices=sorted(DATASETS), default="gau",
+        help="workload from the dataset registry (default: gau)",
+    )
+    solve_cmd.add_argument(
+        "--m", type=int, default=None,
+        help="simulated machines (MapReduce solvers only; default: solver's)",
+    )
+    solve_cmd.add_argument(
+        "--capacity", type=int, default=None,
+        help="per-machine capacity (MapReduce solvers only)",
+    )
+    solve_cmd.add_argument("--seed", type=int, default=2016, help="algorithm seed")
+    solve_cmd.add_argument(
+        "--data-seed", type=int, default=None,
+        help="dataset generation seed (default: --seed)",
+    )
+    solve_cmd.add_argument(
+        "--no-evaluate", action="store_true",
+        help="skip the full covering-radius evaluation (MapReduce solvers)",
+    )
+    solve_cmd.add_argument(
+        "--opt", action="append", type=_parse_solver_option, default=[],
+        metavar="KEY=VALUE",
+        help="solver-specific option, repeatable (e.g. --opt phi=4)",
+    )
+    solve_cmd.add_argument("--quiet", action="store_true",
+                           help="suppress progress lines")
     run = sub.add_parser("run", help="run one experiment and print its table/figure")
     run.add_argument("experiment", choices=sorted(EXPERIMENT_IDS))
     run.add_argument("--scale", choices=["default", "paper"], default=None,
@@ -159,6 +295,19 @@ def main(argv: list[str] | None = None) -> int:
         for exp in sorted(EXPERIMENT_IDS):
             print(exp)
         return 0
+
+    if args.command == "solve":
+        try:
+            return _run_solve_command(args)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except TypeError as exc:
+            # Mis-typed --opt values (e.g. --opt phi=abc) surface as
+            # TypeErrors inside the solver; report them like any other
+            # bad input instead of a traceback.
+            print(f"error: bad option value: {exc}", file=sys.stderr)
+            return 2
 
     scale = resolve_scale(args.scale)
     exp = args.experiment

@@ -1,0 +1,52 @@
+"""Solver registry and facade (the package's single algorithm entry point).
+
+This package decouples *what algorithm to run* from *how it is called*:
+
+* :mod:`~repro.solvers.registry` — :class:`SolverSpec`,
+  :func:`register_solver`, :func:`get_solver`, :func:`list_solvers`;
+* :mod:`~repro.solvers.config` — :class:`SolveConfig`, the normalised
+  knob set with per-solver option validation;
+* :mod:`~repro.solvers.facade` — :func:`solve` and the batch
+  :func:`solve_many` (fans out over the
+  :class:`~repro.mapreduce.executor.Executor` protocol);
+* :mod:`~repro.solvers.catalog` — registration of the six built-in
+  algorithms (GON, MRG, EIM, HS, MRHS, EXACT).
+
+Typical use::
+
+    import repro
+    result = repro.solve(space, k=10, algorithm="eim", seed=0, phi=4.0)
+    batch = repro.solve_many(space, 10, algorithms=("gon", "mrg"), seeds=range(3))
+"""
+
+from repro.solvers.config import UNSET, SHARED_KNOBS, SolveConfig
+from repro.solvers.facade import AlgorithmLike, BatchKey, solve, solve_many
+from repro.solvers.registry import (
+    REGISTRY,
+    SolverRegistry,
+    SolverSpec,
+    get_solver,
+    list_solvers,
+    register_solver,
+    solver_names,
+)
+
+# Populate the global registry with the built-in algorithms.
+import repro.solvers.catalog  # noqa: E402,F401  isort:skip
+
+__all__ = [
+    "solve",
+    "solve_many",
+    "BatchKey",
+    "AlgorithmLike",
+    "SolveConfig",
+    "SolverSpec",
+    "SolverRegistry",
+    "REGISTRY",
+    "register_solver",
+    "get_solver",
+    "list_solvers",
+    "solver_names",
+    "SHARED_KNOBS",
+    "UNSET",
+]

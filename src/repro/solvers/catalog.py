@@ -1,0 +1,108 @@
+"""Registration of the built-in k-center solvers.
+
+Importing this module (done by :mod:`repro.solvers` itself) populates the
+global registry with the six algorithms the repository implements.  Each
+entry records exactly the keyword surface of the underlying function, so
+:class:`~repro.solvers.config.SolveConfig` can reject unknown options
+before the algorithm runs.
+
+To plug in a new solver, decorate its entry point::
+
+    from repro.solvers import register_solver
+
+    @register_solver(
+        "stream",
+        kind="sequential",
+        summary="one-pass streaming 8-approximation",
+        shared=("seed",),
+        options=("buffer_size",),
+    )
+    def stream_kcenter(space, k, seed=None, buffer_size=1024):
+        ...
+
+and ``repro.solve(space, k, algorithm="stream")``, the CLI and
+``solve_many`` batches pick it up with no further wiring.
+"""
+
+from __future__ import annotations
+
+from repro.core.eim import eim
+from repro.core.exact import exact_kcenter
+from repro.core.gonzalez import gonzalez
+from repro.core.hochbaum_shmoys import hochbaum_shmoys
+from repro.core.mr_hochbaum_shmoys import mr_hochbaum_shmoys
+from repro.core.mrg import mrg
+from repro.solvers.config import SHARED_KNOBS
+from repro.solvers.registry import register_solver
+
+__all__: list[str] = []
+
+#: Shared-knob surface of the MapReduce family (mrg / mrhs / eim): the
+#: full set — every cluster knob SolveConfig normalises is accepted by
+#: each of these solvers' signatures.
+_MAPREDUCE_KNOBS = SHARED_KNOBS
+
+register_solver(
+    "gon",
+    kind="sequential",
+    summary="Gonzalez farthest-first traversal (paper's GON baseline)",
+    aliases=("gonzalez", "farthest_first"),
+    approx_factor=2.0,
+    shared=("seed",),
+    options=("first_center",),
+)(gonzalez)
+
+register_solver(
+    "mrg",
+    kind="mapreduce",
+    summary="MapReduce Gonzalez, paper Algorithm 1 (4-approx in two rounds)",
+    aliases=("mapreduce_gonzalez", "mr_gonzalez"),
+    approx_factor=4.0,
+    shared=_MAPREDUCE_KNOBS,
+    options=("partitioner", "max_rounds"),
+)(mrg)
+
+register_solver(
+    "eim",
+    kind="mapreduce",
+    summary="Ene-Im-Moseley iterative sampling with the paper's phi knob",
+    aliases=("ene_im_moseley", "iterative_sampling"),
+    approx_factor=10.0,
+    shared=_MAPREDUCE_KNOBS,
+    options=(
+        "params",
+        "eps",
+        "phi",
+        "sample_coeff",
+        "pivot_coeff",
+        "threshold_coeff",
+        "legacy_removal",
+        "max_iterations",
+    ),
+)(eim)
+
+register_solver(
+    "hs",
+    kind="sequential",
+    summary="Hochbaum-Shmoys bottleneck 2-approximation (small n)",
+    aliases=("hochbaum_shmoys",),
+    approx_factor=2.0,
+)(hochbaum_shmoys)
+
+register_solver(
+    "mrhs",
+    kind="mapreduce",
+    summary="MapReduce Hochbaum-Shmoys (paper's future-work adaptation)",
+    aliases=("mr_hochbaum_shmoys",),
+    approx_factor=8.0,
+    shared=_MAPREDUCE_KNOBS,
+    options=("partitioner",),
+)(mr_hochbaum_shmoys)
+
+register_solver(
+    "exact",
+    kind="exact",
+    summary="brute-force optimal oracle (tiny instances, testing)",
+    aliases=("exact_kcenter", "bruteforce"),
+    approx_factor=1.0,
+)(exact_kcenter)

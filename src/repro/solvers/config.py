@@ -1,0 +1,138 @@
+"""Normalised solve configuration shared by every registered solver.
+
+The six algorithms historically exposed six different signatures
+(``gonzalez(space, k, seed, first_center)`` vs ``mrg(..., partitioner,
+max_rounds)`` vs ``eim(..., params, **overrides)``).  :class:`SolveConfig`
+is the one place those knobs are normalised:
+
+* the **shared knobs** every MapReduce solver understands — ``m``,
+  ``capacity``, ``seed``, ``executor``, ``evaluate`` — are first-class
+  fields, left at :data:`UNSET` when the caller did not specify them (so
+  each solver's own defaults apply and facade calls stay bit-identical to
+  direct calls);
+* **solver-specific options** (``phi``, ``partitioner``,
+  ``first_center``, ...) travel in :attr:`options` and are validated
+  against the target :class:`~repro.solvers.registry.SolverSpec` — an
+  unknown key raises :class:`~repro.errors.InvalidParameterError` instead
+  of a late ``TypeError`` deep inside the algorithm.
+
+A shared knob explicitly set for a solver that does not take it is an
+error, with one ergonomic exception: ``seed`` is silently dropped for
+deterministic solvers (HS, EXACT), so seed sweeps can include them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any
+
+from repro.errors import InvalidParameterError
+from repro.solvers.registry import SolverSpec
+
+__all__ = ["UNSET", "SHARED_KNOBS", "SolveConfig"]
+
+
+class _Unset:
+    """Sentinel distinguishing "not specified" from an explicit ``None``."""
+
+    _instance = None
+
+    def __new__(cls) -> "_Unset":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "UNSET"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: Marker for "caller did not specify this knob" (falsy, unpicklable-safe).
+UNSET = _Unset()
+
+#: The shared knobs, in the order :meth:`SolveConfig.kwargs_for` emits them.
+SHARED_KNOBS = ("m", "capacity", "seed", "executor", "evaluate")
+
+#: Shared knobs silently dropped (rather than rejected) when the target
+#: solver does not accept them: a seed is meaningless but harmless to a
+#: deterministic solver, and dropping it keeps ``solve(..., seed=s)``
+#: uniform across the whole registry.
+_DROPPABLE = frozenset({"seed"})
+
+
+@dataclass
+class SolveConfig:
+    """One solve request's knobs, normalised and ready to validate.
+
+    ``k`` is required and validated eagerly; every other field defaults to
+    :data:`UNSET`, meaning "use the solver's own default".
+    """
+
+    k: int
+    m: Any = UNSET
+    capacity: Any = UNSET
+    seed: Any = UNSET
+    executor: Any = UNSET
+    evaluate: Any = UNSET
+    options: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        try:
+            self.k = int(self.k)
+        except (TypeError, ValueError):
+            raise InvalidParameterError(
+                f"k must be an integer, got {self.k!r}"
+            ) from None
+        if self.k <= 0:
+            raise InvalidParameterError(f"k must be positive, got {self.k}")
+        for knob in SHARED_KNOBS:
+            if knob in self.options:
+                raise InvalidParameterError(
+                    f"shared knob {knob!r} must be passed as a field of "
+                    "SolveConfig, not inside options"
+                )
+
+    def explicit_knobs(self) -> dict[str, Any]:
+        """The shared knobs the caller actually specified."""
+        return {
+            knob: getattr(self, knob)
+            for knob in SHARED_KNOBS
+            if getattr(self, knob) is not UNSET
+        }
+
+    def kwargs_for(self, spec: SolverSpec) -> dict[str, Any]:
+        """Validated keyword arguments for ``spec.fn(space, k, **kwargs)``.
+
+        Raises
+        ------
+        InvalidParameterError
+            If :attr:`options` contains a key ``spec`` does not accept, or
+            a non-droppable shared knob was explicitly set for a solver
+            whose signature does not take it.
+        """
+        unknown = sorted(set(self.options) - set(spec.options))
+        if unknown:
+            allowed = sorted(spec.options | spec.shared)
+            raise InvalidParameterError(
+                f"unknown option(s) {', '.join(map(repr, unknown))} for solver "
+                f"{spec.name!r}; accepted: {', '.join(map(repr, allowed)) or 'none'}"
+            )
+        kwargs = dict(self.options)
+        for knob, value in self.explicit_knobs().items():
+            if knob in spec.shared:
+                kwargs[knob] = value
+            elif knob not in _DROPPABLE:
+                raise InvalidParameterError(
+                    f"solver {spec.name!r} ({spec.kind}) does not accept "
+                    f"{knob!r}"
+                )
+        return kwargs
+
+    def replace(self, **changes: Any) -> "SolveConfig":
+        """A copy with ``changes`` applied (options dict is copied)."""
+        state = {f.name: getattr(self, f.name) for f in fields(self)}
+        state["options"] = dict(state["options"])
+        state.update(changes)
+        return SolveConfig(**state)

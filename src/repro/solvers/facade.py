@@ -1,0 +1,243 @@
+"""`repro.solve` / `repro.solve_many`: the uniform solver entry points.
+
+:func:`solve` resolves an algorithm through the registry, validates the
+knobs against its :class:`~repro.solvers.registry.SolverSpec`, and calls
+the underlying function with exactly the arguments the caller specified —
+so ``solve(space, k, algorithm="mrg", seed=0)`` is bit-identical to
+``mrg(space, k, seed=0)``.
+
+:func:`solve_many` fans a (algorithms x seeds) grid out over the existing
+:class:`~repro.mapreduce.executor.Executor` protocol and returns a result
+map keyed by :class:`BatchKey`.  Each run's seed is fixed up-front, so the
+batch is deterministic regardless of executor (sequential vs process
+pool) and scheduling order.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Any, Iterable, Mapping, NamedTuple, Sequence, Union
+
+import repro.solvers.catalog  # noqa: F401  (side effect: populate REGISTRY)
+from repro.core.result import KCenterResult
+from repro.errors import InvalidParameterError
+from repro.mapreduce.executor import Executor, SequentialExecutor
+from repro.metric.base import MetricSpace
+from repro.solvers.config import SHARED_KNOBS, UNSET, SolveConfig
+from repro.solvers.registry import SolverSpec, get_solver
+
+__all__ = ["solve", "solve_many", "BatchKey", "AlgorithmLike"]
+
+#: What :func:`solve_many` accepts per algorithm: a registry name/alias, a
+#: ``(name, options)`` pair, or a resolved :class:`SolverSpec`.
+AlgorithmLike = Union[str, SolverSpec, tuple]
+
+
+class BatchKey(NamedTuple):
+    """Key of one run in a :func:`solve_many` result map."""
+
+    algorithm: str  # canonical registry name, or the entry's ``label``
+    seed: Any
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.algorithm}[seed={self.seed}]"
+
+
+def solve(
+    space: MetricSpace,
+    k: int,
+    algorithm: str = "eim",
+    *,
+    m: Any = UNSET,
+    capacity: Any = UNSET,
+    seed: Any = UNSET,
+    executor: Any = UNSET,
+    evaluate: Any = UNSET,
+    **options: Any,
+) -> KCenterResult:
+    """Run one registered k-center solver on ``space``.
+
+    Parameters
+    ----------
+    space:
+        Any :class:`~repro.metric.base.MetricSpace`.
+    k:
+        Number of centers (positive).
+    algorithm:
+        Registry name or alias: ``"gon"``, ``"mrg"``, ``"eim"``, ``"hs"``,
+        ``"mrhs"``, ``"exact"`` (case-insensitive; see
+        :func:`repro.solvers.list_solvers`).
+    m, capacity, seed, executor, evaluate:
+        Shared knobs, forwarded only when explicitly given so each
+        solver's own defaults apply.  Setting a knob the solver does not
+        take raises :class:`~repro.errors.InvalidParameterError`
+        (exception: ``seed`` is ignored by deterministic solvers).
+    **options:
+        Solver-specific options (``phi=4.0``, ``partitioner="hash"``,
+        ``first_center=0``, ...), validated against the registry spec.
+
+    Returns
+    -------
+    KCenterResult
+        Identical to calling the underlying free function directly with
+        the same arguments.
+    """
+    spec = get_solver(algorithm)
+    config = SolveConfig(
+        k=k,
+        m=m,
+        capacity=capacity,
+        seed=seed,
+        executor=executor,
+        evaluate=evaluate,
+        options=options,
+    )
+    return spec.fn(space, config.k, **config.kwargs_for(spec))
+
+
+def _run_one(space: MetricSpace, k: int, name: str, kwargs: dict) -> KCenterResult:
+    """Top-level runner so batch tasks stay picklable for process pools."""
+    return get_solver(name).fn(space, k, **kwargs)
+
+
+def _normalise_algorithms(
+    algorithms: Union[AlgorithmLike, Iterable[AlgorithmLike]],
+) -> list[tuple[SolverSpec, dict[str, Any]]]:
+    if isinstance(algorithms, (str, SolverSpec)) or (
+        isinstance(algorithms, tuple)
+        and len(algorithms) == 2
+        and isinstance(algorithms[1], Mapping)
+    ):
+        algorithms = [algorithms]
+    resolved: list[tuple[SolverSpec, dict[str, Any]]] = []
+    for entry in algorithms:
+        opts: dict[str, Any] = {}
+        if isinstance(entry, (tuple, list)):
+            if len(entry) != 2 or not isinstance(entry[1], Mapping):
+                raise InvalidParameterError(
+                    "algorithm entries must be a name, a SolverSpec, or a "
+                    f"(name, options-dict) pair; got {entry!r}"
+                )
+            entry, opts = entry[0], dict(entry[1])
+        if isinstance(entry, SolverSpec):
+            resolved.append((entry, opts))
+        else:
+            resolved.append((get_solver(entry), opts))
+    if not resolved:
+        raise InvalidParameterError("solve_many needs at least one algorithm")
+    return resolved
+
+
+def solve_many(
+    space: MetricSpace,
+    k: int,
+    algorithms: Union[AlgorithmLike, Iterable[AlgorithmLike]] = ("gon", "mrg", "eim"),
+    seeds: Sequence[Any] = (None,),
+    *,
+    executor: Executor | None = None,
+    m: Any = UNSET,
+    capacity: Any = UNSET,
+    evaluate: Any = UNSET,
+    **options: Any,
+) -> dict[BatchKey, KCenterResult]:
+    """Run an (algorithms x seeds) batch; return ``{BatchKey: result}``.
+
+    Parameters
+    ----------
+    space, k:
+        As for :func:`solve`; the same instance is shared by every run.
+    algorithms:
+        Iterable of registry names, ``(name, options)`` pairs, or
+        :class:`SolverSpec` objects.  Per-entry options override the
+        batch-wide ``**options``; the reserved option ``label`` renames
+        the entry's key (so one algorithm can appear several times with
+        different options, e.g. an EIM phi sweep).
+    seeds:
+        One run is scheduled per (algorithm, seed) pair.  Seeds are bound
+        before scheduling, so results are identical under any executor.
+    executor:
+        Backend for the *batch fan-out* (default
+        :class:`~repro.mapreduce.executor.SequentialExecutor`).  It is not
+        forwarded to the individual solvers — nesting a process pool
+        inside each run would oversubscribe the machine; a per-entry
+        ``executor`` (see below) overrides this for one entry's runs.
+    m, capacity, evaluate, **options:
+        Batch-wide knobs/options, applied to each solver that accepts
+        them and skipped for those that do not (so one batch can mix
+        sequential and MapReduce solvers).  An option no solver in the
+        batch accepts raises — a typo must not silently run defaults.
+        Per-entry dicts may override both options and shared knobs
+        (``("mrg", {"m": 8, "executor": SequentialExecutor()})``) and are
+        strictly validated against that entry's solver; a per-entry
+        ``seed`` is rejected — the ``seeds`` grid owns seeding.
+
+    Raises
+    ------
+    InvalidParameterError
+        Unknown algorithm, invalid per-entry option/knob, a batch-wide
+        option accepted by no entry, or two entries producing the same
+        ``(algorithm, seed)`` key.
+    """
+    entries = _normalise_algorithms(algorithms)
+    if not isinstance(seeds, (list, tuple, range)):
+        seeds = list(seeds)
+    if not seeds:
+        raise InvalidParameterError("solve_many needs at least one seed")
+    orphaned = sorted(
+        key
+        for key in options
+        if not any(key in spec.options for spec, _ in entries)
+    )
+    if orphaned:
+        raise InvalidParameterError(
+            f"batch option(s) {', '.join(map(repr, orphaned))} accepted by "
+            "no solver in this batch; check for typos or move them into a "
+            "per-entry options dict"
+        )
+
+    keys: list[BatchKey] = []
+    tasks = []
+    for spec, entry_opts in entries:
+        # Batch-wide options apply only where accepted; per-entry options
+        # and knobs are exact and validated below by kwargs_for.
+        merged = {
+            key: value for key, value in options.items() if key in spec.options
+        }
+        merged.update(entry_opts)
+        label = str(merged.pop("label", spec.name))
+        if "seed" in merged:
+            raise InvalidParameterError(
+                "per-entry 'seed' is not allowed; the seeds grid assigns "
+                "one run per (algorithm, seed) pair"
+            )
+        entry_knobs = {
+            knob: merged.pop(knob) for knob in SHARED_KNOBS if knob in merged
+        }
+        for seed in seeds:
+            config = SolveConfig(
+                k=k,
+                m=entry_knobs.get("m", m if "m" in spec.shared else UNSET),
+                capacity=entry_knobs.get(
+                    "capacity", capacity if "capacity" in spec.shared else UNSET
+                ),
+                seed=seed,
+                executor=entry_knobs.get("executor", UNSET),
+                evaluate=entry_knobs.get(
+                    "evaluate", evaluate if "evaluate" in spec.shared else UNSET
+                ),
+                options=merged,
+            )
+            key = BatchKey(label, seed)
+            if key in keys:
+                raise InvalidParameterError(
+                    f"duplicate batch entry {key}; list each "
+                    "(algorithm, seed) pair at most once"
+                )
+            keys.append(key)
+            tasks.append(
+                partial(_run_one, space, config.k, spec.name, config.kwargs_for(spec))
+            )
+
+    backend = executor if executor is not None else SequentialExecutor()
+    results, _times = backend.run(tasks)
+    return dict(zip(keys, results))

@@ -1,0 +1,209 @@
+"""Solver registry: one canonical catalogue of k-center algorithms.
+
+Every algorithm in :mod:`repro.core` is described by a :class:`SolverSpec`
+— canonical name, aliases, execution kind, a-priori approximation factor,
+and the exact set of keyword options it accepts — and registered with the
+:func:`register_solver` decorator.  Consumers (the :func:`repro.solve`
+facade, the CLI, the experiment harness) resolve algorithms exclusively
+through :func:`get_solver` / :func:`list_solvers`, so adding a new solver
+is one decorated registration, not a sweep over hand-written dispatch
+tables.
+
+Names are case-insensitive and dash/underscore-insensitive:
+``"GON"``, ``"gon"`` and ``"gonzalez"`` all resolve to the same spec,
+``"mr-hochbaum-shmoys"`` and ``"mr_hochbaum_shmoys"`` likewise.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "KINDS",
+    "SolverSpec",
+    "SolverRegistry",
+    "REGISTRY",
+    "register_solver",
+    "get_solver",
+    "list_solvers",
+    "solver_names",
+]
+
+#: Execution kinds a solver may declare.
+#:
+#: * ``"sequential"`` — runs on one machine, no MapReduce accounting;
+#: * ``"mapreduce"``  — runs on the :class:`~repro.mapreduce.cluster.SimulatedCluster`
+#:   substrate and accepts the cluster knobs (``m``, ``capacity``, ...);
+#: * ``"exact"``      — optimal oracle, feasible only on tiny instances.
+KINDS = ("sequential", "mapreduce", "exact")
+
+
+def canonical_key(name: str) -> str:
+    """Normalise a solver name for lookup (case/dash/underscore-folded)."""
+    return str(name).strip().lower().replace("-", "_").replace(" ", "_")
+
+
+@dataclass(frozen=True)
+class SolverSpec:
+    """Everything the facade needs to know about one registered algorithm.
+
+    Attributes
+    ----------
+    name:
+        Canonical short name (``"gon"``, ``"mrg"``, ``"eim"``, ...); the
+        registry key and the default label in experiment harnesses is
+        :attr:`label` (its upper-case form, matching the paper's tags).
+    fn:
+        The underlying entry point; called as ``fn(space, k, **kwargs)``
+        and must return a :class:`~repro.core.result.KCenterResult`.
+    kind:
+        One of :data:`KINDS`.
+    summary:
+        One-line human description (shown by ``repro-kcenter solve list``).
+    aliases:
+        Alternative lookup names (full spellings, legacy tags).
+    approx_factor:
+        The a-priori guarantee in the solver's standard regime, or ``None``
+        when no uniform bound applies.
+    shared:
+        The subset of the shared :class:`~repro.solvers.config.SolveConfig`
+        knobs (``m``, ``capacity``, ``seed``, ``executor``, ``evaluate``)
+        this solver's signature accepts.
+    options:
+        Names of the solver-specific keyword options it accepts (anything
+        else raises :class:`~repro.errors.InvalidParameterError`).
+    """
+
+    name: str
+    fn: Callable[..., Any]
+    kind: str
+    summary: str = ""
+    aliases: tuple[str, ...] = ()
+    approx_factor: float | None = None
+    shared: frozenset[str] = field(default_factory=frozenset)
+    options: frozenset[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise InvalidParameterError(
+                f"solver kind must be one of {KINDS}, got {self.kind!r}"
+            )
+        object.__setattr__(self, "name", canonical_key(self.name))
+        object.__setattr__(self, "aliases", tuple(self.aliases))
+        object.__setattr__(self, "shared", frozenset(self.shared))
+        object.__setattr__(self, "options", frozenset(self.options))
+
+    @property
+    def label(self) -> str:
+        """Default display tag (``"GON"``, ``"MRG"``, ...) for tables."""
+        return self.name.upper()
+
+    @property
+    def all_names(self) -> tuple[str, ...]:
+        return (self.name, *self.aliases)
+
+
+class SolverRegistry:
+    """Mapping from solver names/aliases to :class:`SolverSpec` objects."""
+
+    def __init__(self) -> None:
+        self._specs: dict[str, SolverSpec] = {}
+        self._index: dict[str, str] = {}  # any normalised name -> canonical
+
+    def register(self, spec: SolverSpec) -> SolverSpec:
+        for name in spec.all_names:
+            key = canonical_key(name)
+            if key in self._index:
+                raise InvalidParameterError(
+                    f"solver name {name!r} already registered "
+                    f"(by {self._index[key]!r})"
+                )
+        for name in spec.all_names:
+            self._index[canonical_key(name)] = spec.name
+        self._specs[spec.name] = spec
+        return spec
+
+    def get(self, name: str) -> SolverSpec:
+        key = canonical_key(name)
+        try:
+            return self._specs[self._index[key]]
+        except KeyError:
+            close = difflib.get_close_matches(key, sorted(self._index), n=3)
+            hint = f"; did you mean {', '.join(map(repr, close))}?" if close else ""
+            raise InvalidParameterError(
+                f"unknown algorithm {name!r}; registered solvers: "
+                f"{', '.join(sorted(self._specs))}{hint}"
+            ) from None
+
+    def specs(self) -> list[SolverSpec]:
+        return [self._specs[name] for name in sorted(self._specs)]
+
+    def names(self) -> list[str]:
+        return sorted(self._specs)
+
+    def __contains__(self, name: str) -> bool:
+        return canonical_key(name) in self._index
+
+    def __iter__(self) -> Iterator[SolverSpec]:
+        return iter(self.specs())
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+
+#: The process-wide default registry the facade and CLI resolve against.
+REGISTRY = SolverRegistry()
+
+
+def register_solver(
+    name: str,
+    *,
+    kind: str,
+    summary: str = "",
+    aliases: Iterable[str] = (),
+    approx_factor: float | None = None,
+    shared: Iterable[str] = (),
+    options: Iterable[str] = (),
+    registry: SolverRegistry | None = None,
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Decorator registering ``fn`` as the solver ``name``.
+
+    Returns the function unchanged, so existing direct call sites keep
+    working; the registration is a side effect on ``registry`` (the global
+    :data:`REGISTRY` by default).
+    """
+
+    def decorate(fn: Callable[..., Any]) -> Callable[..., Any]:
+        spec = SolverSpec(
+            name=name,
+            fn=fn,
+            kind=kind,
+            summary=summary,
+            aliases=tuple(aliases),
+            approx_factor=approx_factor,
+            shared=frozenset(shared),
+            options=frozenset(options),
+        )
+        (registry if registry is not None else REGISTRY).register(spec)
+        return fn
+
+    return decorate
+
+
+def get_solver(name: str) -> SolverSpec:
+    """Resolve a solver by canonical name or alias (case-insensitive)."""
+    return REGISTRY.get(name)
+
+
+def list_solvers() -> list[SolverSpec]:
+    """All registered specs, sorted by canonical name."""
+    return REGISTRY.specs()
+
+
+def solver_names() -> list[str]:
+    """Sorted canonical names of all registered solvers."""
+    return REGISTRY.names()

@@ -72,3 +72,65 @@ class TestRunCommand:
         assert main(["run", "figure4a", "--quiet", "--m", "5"]) == 0
         out = capsys.readouterr().out
         assert "over n" in out
+
+
+class TestSolveCommand:
+    def test_solve_list_shows_registry(self, capsys):
+        assert main(["solve", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("gon", "mrg", "eim", "hs", "mrhs", "exact"):
+            assert name in out
+        assert "registered k-center solvers" in out
+
+    def test_solve_runs_end_to_end(self, capsys):
+        assert main(["solve", "eim", "--k", "10", "--n", "3000", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "EIM" in out
+        assert "radius" in out
+        assert "a-priori guarantee" in out
+
+    def test_solve_with_options(self, capsys):
+        assert main(
+            ["solve", "gon", "--k", "4", "--n", "1000", "--quiet",
+             "--opt", "first_center=0"]
+        ) == 0
+        assert "GON" in capsys.readouterr().out
+
+    def test_solve_alias_and_dataset(self, capsys):
+        assert main(
+            ["solve", "gonzalez", "--k", "3", "--n", "1000",
+             "--dataset", "unif", "--quiet"]
+        ) == 0
+        assert "unif" in capsys.readouterr().out
+
+    def test_solve_unknown_algorithm_fails_cleanly(self, capsys):
+        assert main(["solve", "kmeans", "--k", "3"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown algorithm" in err
+
+    def test_solve_unknown_option_fails_cleanly(self, capsys):
+        assert main(
+            ["solve", "gon", "--k", "3", "--n", "500", "--quiet",
+             "--opt", "phi=4"]
+        ) == 2
+        assert "unknown option" in capsys.readouterr().err
+
+    def test_solve_shared_knob_mismatch_fails_cleanly(self, capsys):
+        assert main(
+            ["solve", "gon", "--k", "3", "--n", "500", "--quiet", "--m", "10"]
+        ) == 2
+        assert "does not accept" in capsys.readouterr().err
+
+    def test_solve_shared_knob_via_opt_points_at_flag(self, capsys):
+        assert main(
+            ["solve", "mrg", "--k", "3", "--n", "500", "--quiet",
+             "--opt", "m=10"]
+        ) == 2
+        assert "use --m" in capsys.readouterr().err
+
+    def test_solve_bad_option_value_fails_cleanly(self, capsys):
+        assert main(
+            ["solve", "eim", "--k", "3", "--n", "500", "--quiet",
+             "--opt", "phi=abc"]
+        ) == 2
+        assert "bad option value" in capsys.readouterr().err

@@ -1,0 +1,204 @@
+"""Facade tests: solve()/solve_many() vs direct calls, batch determinism."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.eim import eim
+from repro.core.exact import exact_kcenter
+from repro.core.gonzalez import gonzalez
+from repro.core.hochbaum_shmoys import hochbaum_shmoys
+from repro.core.mr_hochbaum_shmoys import mr_hochbaum_shmoys
+from repro.core.mrg import mrg
+from repro.errors import InvalidParameterError
+from repro.mapreduce.executor import ProcessPoolExecutorBackend, SequentialExecutor
+from repro.metric.euclidean import EuclideanSpace
+from repro.solvers import BatchKey, solve, solve_many
+
+
+@pytest.fixture(scope="module")
+def space():
+    points = np.random.default_rng(7).normal(size=(400, 3))
+    return EuclideanSpace(points)
+
+
+@pytest.fixture(scope="module")
+def tiny_space(space):
+    return space.local(np.arange(14, dtype=np.intp))
+
+
+# (algorithm, direct fn, kwargs) — kwargs go verbatim to both routes.
+EQUIVALENCE_CASES = [
+    ("gon", gonzalez, {"seed": 0}),
+    ("gon", gonzalez, {"seed": 5, "first_center": 3}),
+    ("mrg", mrg, {"seed": 0, "m": 6}),
+    ("mrg", mrg, {"seed": 2, "m": 4, "partitioner": "random"}),
+    ("eim", eim, {"seed": 0, "m": 6}),
+    ("eim", eim, {"seed": 2, "m": 4, "phi": 4.0, "eps": 0.2}),
+    ("mrhs", mr_hochbaum_shmoys, {"seed": 0, "m": 5}),
+]
+
+
+class TestSolveEquivalence:
+    @pytest.mark.parametrize("algorithm,direct,kwargs", EQUIVALENCE_CASES)
+    def test_same_centers_as_direct_call(self, space, algorithm, direct, kwargs):
+        via_facade = solve(space, 4, algorithm=algorithm, **kwargs)
+        direct_result = direct(space, 4, **kwargs)
+        assert (via_facade.centers == direct_result.centers).all()
+        assert via_facade.radius == direct_result.radius
+        assert via_facade.algorithm == direct_result.algorithm
+
+    def test_deterministic_solvers_match(self, tiny_space):
+        hs_pair = (solve(tiny_space, 3, "hs"), hochbaum_shmoys(tiny_space, 3))
+        exact_pair = (
+            solve(tiny_space, 3, "exact", seed=9),  # seed is ignored
+            exact_kcenter(tiny_space, 3),
+        )
+        for facade_result, direct_result in (hs_pair, exact_pair):
+            assert (facade_result.centers == direct_result.centers).all()
+            assert facade_result.radius == direct_result.radius
+
+    def test_aliases_resolve(self, space):
+        a = solve(space, 3, algorithm="gonzalez", seed=1)
+        b = solve(space, 3, algorithm="GON", seed=1)
+        assert (a.centers == b.centers).all()
+
+    def test_seed_sweep_matches_direct(self, space):
+        for seed in range(3):
+            facade_result = solve(space, 5, "eim", seed=seed, m=5)
+            direct_result = eim(space, 5, seed=seed, m=5)
+            assert (facade_result.centers == direct_result.centers).all()
+
+
+class TestSolveValidation:
+    def test_unknown_algorithm(self, space):
+        with pytest.raises(InvalidParameterError, match="unknown algorithm"):
+            solve(space, 3, algorithm="kmeans")
+
+    def test_unknown_option(self, space):
+        with pytest.raises(InvalidParameterError, match="unknown option"):
+            solve(space, 3, algorithm="mrg", phi=4.0)
+
+    def test_shared_knob_not_taken(self, space):
+        with pytest.raises(InvalidParameterError, match="does not accept"):
+            solve(space, 3, algorithm="gon", m=10)
+
+    def test_invalid_k(self, space):
+        with pytest.raises(InvalidParameterError):
+            solve(space, 0, algorithm="gon")
+
+    def test_validation_happens_before_running(self, space):
+        # An unknown option must not start the (expensive) algorithm.
+        before = space.counter.evals
+        with pytest.raises(InvalidParameterError):
+            solve(space, 3, algorithm="eim", bogus=1)
+        assert space.counter.evals == before
+
+
+class TestSolveMany:
+    def test_keys_and_results(self, space):
+        batch = solve_many(space, 4, algorithms=("gon", "mrg"), seeds=(0, 1), m=5)
+        assert set(batch) == {
+            BatchKey("gon", 0),
+            BatchKey("gon", 1),
+            BatchKey("mrg", 0),
+            BatchKey("mrg", 1),
+        }
+        # Plain tuples work as lookup keys too.
+        assert batch["gon", 0].algorithm == "GON"
+        for key, result in batch.items():
+            assert result.n_centers == 4
+
+    def test_matches_individual_solves(self, space):
+        batch = solve_many(space, 4, algorithms=("gon", "eim"), seeds=(0, 1), m=5)
+        for (name, seed), batched in batch.items():
+            single = solve(space, 4, algorithm=name, seed=seed,
+                           **({"m": 5} if name == "eim" else {}))
+            assert (batched.centers == single.centers).all()
+
+    def test_single_string_algorithm(self, space):
+        batch = solve_many(space, 3, algorithms="gon", seeds=(0,))
+        assert list(batch) == [BatchKey("gon", 0)]
+
+    def test_batch_knobs_skip_sequential_solvers(self, space):
+        # m applies to mrg but must not error on gon.
+        batch = solve_many(space, 3, algorithms=("gon", "mrg"), seeds=(0,), m=4)
+        assert batch["mrg", 0].extra["m"] == 4
+
+    def test_batch_options_apply_where_accepted(self, space):
+        batch = solve_many(
+            space, 3, algorithms=("gon", "eim"), seeds=(0,), m=4, phi=4.0
+        )
+        assert batch["eim", 0].extra["params"].phi == 4.0
+
+    def test_labelled_option_sweep(self, space):
+        batch = solve_many(
+            space,
+            4,
+            algorithms=[
+                ("eim", {"phi": phi, "label": f"eim-phi{phi:g}"})
+                for phi in (1.0, 8.0)
+            ],
+            seeds=(0,),
+            m=5,
+        )
+        assert set(key.algorithm for key in batch) == {"eim-phi1", "eim-phi8"}
+
+    def test_per_entry_shared_knob_overrides_batch(self, space):
+        batch = solve_many(
+            space, 3,
+            algorithms=[("mrg", {"m": 4}), ("eim", {"executor": SequentialExecutor()})],
+            seeds=(0,),
+            m=8,
+        )
+        assert batch["mrg", 0].extra["m"] == 4
+        assert batch["eim", 0].extra["m"] == 8
+
+    def test_per_entry_knob_strictly_validated(self, space):
+        with pytest.raises(InvalidParameterError, match="does not accept 'm'"):
+            solve_many(space, 3, algorithms=[("gon", {"m": 4})], seeds=(0,))
+
+    def test_per_entry_seed_rejected(self, space):
+        with pytest.raises(InvalidParameterError, match="seeds grid"):
+            solve_many(space, 3, algorithms=[("gon", {"seed": 1})], seeds=(0,))
+
+    def test_orphaned_batch_option_rejected(self, space):
+        # A typo'd batch-wide option must not silently run defaults.
+        with pytest.raises(InvalidParameterError, match="no solver in this batch"):
+            solve_many(space, 3, algorithms=("gon", "eim"), seeds=(0,), phy=99.0)
+
+    def test_duplicate_key_rejected(self, space):
+        with pytest.raises(InvalidParameterError, match="duplicate"):
+            solve_many(space, 3, algorithms=("gon", "gonzalez"), seeds=(0,))
+
+    def test_per_entry_option_validated(self, space):
+        with pytest.raises(InvalidParameterError, match="unknown option"):
+            solve_many(space, 3, algorithms=[("gon", {"phi": 1.0})], seeds=(0,))
+
+    def test_empty_inputs_rejected(self, space):
+        with pytest.raises(InvalidParameterError, match="at least one algorithm"):
+            solve_many(space, 3, algorithms=[], seeds=(0,))
+        with pytest.raises(InvalidParameterError, match="at least one seed"):
+            solve_many(space, 3, algorithms=("gon",), seeds=())
+
+    def test_deterministic_across_executors(self, space):
+        grid = dict(algorithms=("gon", "mrg", "eim", "hs"), seeds=(0, 1), m=5)
+        sequential = solve_many(space, 4, executor=SequentialExecutor(), **grid)
+        pooled = solve_many(
+            space, 4, executor=ProcessPoolExecutorBackend(max_workers=2), **grid
+        )
+        assert sequential.keys() == pooled.keys()
+        for key in sequential:
+            assert (sequential[key].centers == pooled[key].centers).all()
+            assert sequential[key].radius == pooled[key].radius
+
+
+class TestTopLevelExports:
+    def test_facade_reexported(self):
+        assert repro.solve is solve
+        assert repro.solve_many is solve_many
+        assert "solve" in repro.__all__ and "solve_many" in repro.__all__
+
+    def test_registry_reexported(self):
+        assert repro.get_solver("gon").name == "gon"
+        assert [spec.name for spec in repro.list_solvers()] == repro.solver_names()

@@ -1,0 +1,149 @@
+"""Unit tests for the solver registry and the SolveConfig validation."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.solvers import (
+    REGISTRY,
+    SolveConfig,
+    SolverRegistry,
+    SolverSpec,
+    get_solver,
+    list_solvers,
+    register_solver,
+    solver_names,
+)
+from repro.solvers.config import UNSET
+from repro.solvers.registry import canonical_key
+
+
+class TestCanonicalKey:
+    def test_folds_case_dashes_spaces(self):
+        assert canonical_key("MR-Hochbaum Shmoys") == "mr_hochbaum_shmoys"
+        assert canonical_key("  GON ") == "gon"
+
+
+class TestBuiltinCatalog:
+    def test_all_six_registered(self):
+        assert solver_names() == ["eim", "exact", "gon", "hs", "mrg", "mrhs"]
+
+    def test_kinds_and_factors(self):
+        expected = {
+            "gon": ("sequential", 2.0),
+            "mrg": ("mapreduce", 4.0),
+            "eim": ("mapreduce", 10.0),
+            "hs": ("sequential", 2.0),
+            "mrhs": ("mapreduce", 8.0),
+            "exact": ("exact", 1.0),
+        }
+        for name, (kind, factor) in expected.items():
+            spec = get_solver(name)
+            assert spec.kind == kind
+            assert spec.approx_factor == factor
+
+    def test_lookup_by_alias_and_case(self):
+        assert get_solver("gonzalez") is get_solver("gon")
+        assert get_solver("GON") is get_solver("gon")
+        assert get_solver("mr-hochbaum-shmoys") is get_solver("mrhs")
+        assert get_solver("Ene_Im_Moseley") is get_solver("eim")
+
+    def test_labels_match_result_tags(self):
+        for spec in list_solvers():
+            assert spec.label == spec.name.upper()
+
+    def test_mapreduce_solvers_share_cluster_knobs(self):
+        for name in ("mrg", "eim", "mrhs"):
+            assert get_solver(name).shared == {
+                "m", "capacity", "seed", "executor", "evaluate"
+            }
+
+    def test_unknown_name_suggests_close_matches(self):
+        with pytest.raises(InvalidParameterError, match="gon"):
+            get_solver("gonz")
+        with pytest.raises(InvalidParameterError, match="unknown algorithm"):
+            get_solver("definitely-not-a-solver")
+
+    def test_membership_and_iteration(self):
+        assert "eim" in REGISTRY
+        assert "EIM" in REGISTRY
+        assert "nope" not in REGISTRY
+        assert len(REGISTRY) == 6
+        assert [spec.name for spec in REGISTRY] == solver_names()
+
+
+class TestRegistration:
+    def test_decorator_returns_function_unchanged(self):
+        registry = SolverRegistry()
+
+        @register_solver("toy", kind="sequential", registry=registry)
+        def toy(space, k):
+            return "ran"
+
+        assert toy(None, 1) == "ran"
+        assert registry.get("toy").fn is toy
+
+    def test_duplicate_name_rejected(self):
+        registry = SolverRegistry()
+        register_solver("toy", kind="sequential", registry=registry)(lambda s, k: None)
+        with pytest.raises(InvalidParameterError, match="already registered"):
+            register_solver("TOY", kind="exact", registry=registry)(lambda s, k: None)
+
+    def test_alias_colliding_with_name_rejected(self):
+        registry = SolverRegistry()
+        register_solver("toy", kind="sequential", registry=registry)(lambda s, k: None)
+        with pytest.raises(InvalidParameterError, match="already registered"):
+            register_solver(
+                "other", aliases=("toy",), kind="sequential", registry=registry
+            )(lambda s, k: None)
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(InvalidParameterError, match="kind"):
+            SolverSpec(name="x", fn=lambda s, k: None, kind="quantum")
+
+
+class TestSolveConfig:
+    def test_k_validation(self):
+        with pytest.raises(InvalidParameterError, match="positive"):
+            SolveConfig(k=0)
+        with pytest.raises(InvalidParameterError, match="integer"):
+            SolveConfig(k="ten")
+        assert SolveConfig(k=3.0).k == 3  # integral floats are accepted
+
+    def test_unset_knobs_are_omitted(self):
+        spec = get_solver("mrg")
+        assert SolveConfig(k=2).kwargs_for(spec) == {}
+
+    def test_explicit_knobs_forwarded(self):
+        spec = get_solver("eim")
+        config = SolveConfig(k=2, m=8, seed=3, evaluate=False)
+        assert config.kwargs_for(spec) == {"m": 8, "seed": 3, "evaluate": False}
+
+    def test_unknown_option_rejected(self):
+        spec = get_solver("gon")
+        with pytest.raises(InvalidParameterError, match="unknown option"):
+            SolveConfig(k=2, options={"phi": 4.0}).kwargs_for(spec)
+
+    def test_unsupported_shared_knob_rejected(self):
+        spec = get_solver("gon")
+        with pytest.raises(InvalidParameterError, match="does not accept 'm'"):
+            SolveConfig(k=2, m=10).kwargs_for(spec)
+
+    def test_seed_dropped_for_deterministic_solvers(self):
+        for name in ("hs", "exact"):
+            assert SolveConfig(k=2, seed=7).kwargs_for(get_solver(name)) == {}
+
+    def test_shared_knob_inside_options_rejected(self):
+        with pytest.raises(InvalidParameterError, match="shared knob"):
+            SolveConfig(k=2, options={"seed": 1})
+
+    def test_replace_copies_options(self):
+        config = SolveConfig(k=2, options={"phi": 4.0})
+        clone = config.replace(k=5)
+        clone.options["phi"] = 1.0
+        assert config.options["phi"] == 4.0
+        assert clone.k == 5
+        assert config.k == 2
+
+    def test_unset_is_falsy_singleton(self):
+        assert not UNSET
+        assert repr(UNSET) == "UNSET"
