@@ -1,0 +1,74 @@
+"""Streaming bench — one-pass doubling (STREAM) vs the GON baseline.
+
+The paper scales k-center by *sharding* (MRG, EIM); the classic
+alternative is a bounded-memory *sequential pass*.  This bench puts the
+two sequential contenders side by side across instance sizes: solution
+quality relative to GON and to the certified OPT lower bound, wall time
+of the pass, and the doubling count (how many times the threshold had to
+grow).  Shape claims asserted:
+
+* STREAM's certified guarantee holds: ``radius <= 8 * 2 * lb`` where
+  ``lb`` is the greedy lower bound (``OPT >= lb``);
+* the internal certificate brackets the truth:
+  ``threshold < radius <= radius_bound``;
+* quality stays within a small constant of GON (both are
+  constant-factor schemes; empirically the gap is far below the 8/2
+  ratio of the a-priori bounds).
+"""
+
+from benchmarks.conftest import write_artifact
+from repro.core.bounds import greedy_lower_bound
+from repro.core.gonzalez import gonzalez
+from repro.core.streaming import stream_kcenter
+from repro.data.registry import make_dataset
+from repro.utils.tables import format_table
+
+K = 10
+SIZES = (5_000, 20_000, 50_000)
+
+
+def test_stream_vs_gon(artifact_dir):
+    rows = []
+    for n in SIZES:
+        space = make_dataset("gau", n, seed=3, k_prime=10).space()
+        lb = greedy_lower_bound(space, K)
+        g = gonzalez(space, K, seed=0)
+        s = stream_kcenter(space, K, seed=0)
+        rows.append(
+            [
+                n,
+                g.radius,
+                s.radius,
+                s.radius / g.radius,
+                g.wall_time,
+                s.wall_time,
+                s.extra["doublings"],
+            ]
+        )
+        # Certified 8-approximation: OPT >= lb, so radius <= 8 * OPT is
+        # witnessed by radius <= 8 * 2 * lb (GON's bound certifies
+        # OPT >= lb via r_k / 2).
+        assert s.radius <= 8.0 * 2.0 * lb + 1e-9
+        # The one-pass certificate brackets the measured radius.
+        assert s.extra["threshold"] <= s.radius + 1e-9
+        assert s.radius <= s.extra["radius_bound"] + 1e-9
+        assert s.n_centers <= K
+        # Empirical quality: nowhere near the worst-case factor gap.
+        assert s.radius <= 4.0 * g.radius
+
+    text = format_table(
+        ["n", "GON radius", "STREAM radius", "STREAM/GON", "GON (s)",
+         "STREAM (s)", "doublings"],
+        rows,
+        title=f"streaming doubling vs GON over n (k={K}, GAU)",
+    )
+    write_artifact(artifact_dir, "streaming", text)
+
+
+def test_stream_representative(benchmark):
+    space = make_dataset("gau", SIZES[-1], seed=3, k_prime=10).space()
+    benchmark.pedantic(
+        lambda: stream_kcenter(space, K, seed=0, evaluate=False),
+        rounds=1,
+        iterations=1,
+    )

@@ -5,11 +5,15 @@ Run::
 
     python examples/scaling_study.py
 
-Sweeps n with the paper's three algorithms on GAU data and prints the
-measured runtimes next to the Table 1 cost-model predictions, including
+Sweeps n with the paper's three algorithms on GAU data — plus the
+one-pass streaming doubling solver, the *sequential-pass* scaling route
+the sharded algorithms are the alternative to — and prints the measured
+runtimes next to the Table 1 cost-model predictions, including
 
 * the MRG-over-GON speedup trend (should approach ~m for large n);
 * EIM's predicted slowdown factor n^eps (1-n^-eps)^-2 log(n);
+* STREAM's single-pass time against GON's k-pass time (both O(kn)
+  distance evaluations, but the stream touches each point once);
 * the machine-capacity arithmetic of Eq. (1) for the chosen cluster.
 """
 
@@ -28,11 +32,14 @@ def main() -> None:
     print(f"scaling study: k={K}, m={M} simulated machines\n")
 
     rows = []
+    stream_rows = []
     for n in (10_000, 30_000, 100_000):
         space = EuclideanSpace(gau(n, k_prime=10, seed=5))
-        t_gon = solve(space, K, algorithm="gon", seed=0).wall_time
+        r_gon = solve(space, K, algorithm="gon", seed=0)
+        t_gon = r_gon.wall_time
         r_mrg = solve(space, K, algorithm="mrg", m=M, seed=0, evaluate=False)
         r_eim = solve(space, K, algorithm="eim", m=M, seed=0, evaluate=False)
+        r_stream = solve(space, K, algorithm="stream", seed=0)
         t_mrg = r_mrg.stats.parallel_time
         t_eim = r_eim.stats.parallel_time
         rows.append(
@@ -46,12 +53,35 @@ def main() -> None:
                 eim_expected_slowdown(n),
             ]
         )
+        stream_rows.append(
+            [
+                n,
+                r_stream.wall_time,
+                t_gon / r_stream.wall_time,
+                r_stream.radius / r_gon.radius,
+                r_stream.extra["doublings"],
+                r_stream.extra["threshold"],
+            ]
+        )
     print(
         format_table(
             ["n", "GON (s)", "MRG (s)", "EIM (s)", "GON/MRG", "EIM/MRG",
              "predicted EIM/MRG"],
             rows,
             title="measured runtimes vs the Section-5 predictions",
+        )
+    )
+
+    # The streaming pass: the other way to scale past one machine's k
+    # passes — one pass, O(k) memory, an 8-approximation with a
+    # per-run certificate (threshold < OPT).
+    print()
+    print(
+        format_table(
+            ["n", "STREAM (s)", "GON/STREAM", "radius vs GON",
+             "doublings", "certified OPT >"],
+            stream_rows,
+            title="one-pass streaming doubling vs the GON baseline",
         )
     )
 

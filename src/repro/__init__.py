@@ -26,6 +26,8 @@ True
 >>> batch = repro.solve_many(space, 10, algorithms=("gon", "eim"), seeds=(0,))
 >>> sorted(key.algorithm for key in batch)
 ['eim', 'gon']
+>>> repro.solve(space, k=10, algorithm="stream", seed=0).algorithm
+'STREAM'
 
 The per-algorithm entry points (:func:`gonzalez`, :func:`mrg`,
 :func:`eim`, ...) remain available for direct calls with identical
@@ -47,6 +49,7 @@ from repro.core import (
     mr_hochbaum_shmoys,
     mrg,
     packing_lower_bound,
+    stream_kcenter,
 )
 from repro.data import Dataset, gau, kddcup99, make_dataset, poker_hand, unb, unif
 from repro.errors import (
@@ -72,7 +75,7 @@ from repro.solvers import (
     solver_names,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -94,6 +97,7 @@ __all__ = [
     "EIMParams",
     "hochbaum_shmoys",
     "mr_hochbaum_shmoys",
+    "stream_kcenter",
     "exact_kcenter",
     "assign",
     "covering_radius",

@@ -9,21 +9,31 @@ We run four tests over each of the real data sets, and take the average."
 algorithms x k — with a deterministic seed tree, producing flat
 :class:`RunRecord` rows; :func:`aggregate` averages them per
 (algorithm, k) the way the paper's tables do.
+
+The inner (algorithm x run-seed) grid of every (instance, k) cell is
+dispatched through :func:`repro.solve_many`, so one experiment fans out
+over any :class:`~repro.mapreduce.executor.Executor` backend end-to-end:
+pass ``executor=ThreadPoolExecutorBackend()`` (or the process-pool
+backend) to :func:`run_experiment` and the grid's runs execute
+concurrently with bit-identical records — seeds are bound before
+scheduling, so the backend never changes the science, only the wall
+clock.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from functools import partial
-from typing import Any, Callable, Iterable, Sequence
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
 from repro.core.result import KCenterResult
 from repro.data.registry import make_dataset
 from repro.errors import ExperimentError
+from repro.mapreduce.executor import Executor
 from repro.metric.euclidean import EuclideanSpace
-from repro.solvers import get_solver, solve
+from repro.solvers import BatchKey, get_solver, solve, solve_many
 from repro.utils.rng import SeedStream
 
 __all__ = [
@@ -43,11 +53,19 @@ __all__ = [
 class AlgorithmSpec:
     """A named algorithm configuration runnable on any space.
 
-    ``run(space, k, seed)`` must return a :class:`KCenterResult`.
+    ``run(space, k, seed)`` must return a :class:`KCenterResult`.  Specs
+    built by :func:`solver_spec` additionally carry their registry name
+    and options in :attr:`algorithm` / :attr:`options`, which is what
+    lets :func:`run_experiment` schedule them through
+    :func:`repro.solve_many` (and hence any executor backend); a spec
+    wrapping an opaque callable (``algorithm is None``) still runs, but
+    only on the in-process sequential path.
     """
 
     name: str
     run: Callable[[EuclideanSpace, int, Any], KCenterResult]
+    algorithm: str | None = None
+    options: Mapping[str, Any] | None = None
 
 
 def _solve_with(algorithm: str, options: dict, space, k, seed) -> KCenterResult:
@@ -70,7 +88,12 @@ def solver_spec(algorithm: str, name: str | None = None, **options) -> Algorithm
             f"in solver_spec({algorithm!r})"
         )
     label = name if name is not None else spec.label
-    return AlgorithmSpec(label, partial(_solve_with, spec.name, options))
+    return AlgorithmSpec(
+        label,
+        partial(_solve_with, spec.name, options),
+        algorithm=spec.name,
+        options=dict(options),
+    )
 
 
 def gon_spec(name: str = "GON") -> AlgorithmSpec:
@@ -191,13 +214,25 @@ class RunRecord:
 def run_experiment(
     spec: ExperimentSpec,
     progress: Callable[[str], None] | None = None,
+    executor: Executor | None = None,
 ) -> list[RunRecord]:
     """Execute the full grid of ``spec``; return flat run records.
 
     The seed tree guarantees: instance ``i`` of an experiment is the same
-    point set no matter which algorithms run on it, and run ``j`` of an
-    algorithm uses the same seed across k values (so the k-sweep varies
-    only k, like the paper's sweeps).
+    point set no matter which algorithms run on it, and run ``j`` uses the
+    same seed across algorithms and k values — so the k-sweep varies only
+    k (like the paper's sweeps) and every algorithm sees identical
+    randomness within a run (paired comparisons).
+
+    ``executor`` is the backend for the per-cell (algorithm x run-seed)
+    fan-out through :func:`repro.solve_many` — ``None`` runs sequentially
+    (the default and the paper's methodology); a
+    :class:`~repro.mapreduce.executor.ThreadPoolExecutorBackend` or
+    :class:`~repro.mapreduce.executor.ProcessPoolExecutorBackend` runs the
+    grid concurrently with bit-identical records, because every run's seed
+    is bound before scheduling.  Executor fan-out requires every algorithm
+    to be registry-backed (built with :func:`solver_spec`); grids
+    containing opaque callables still run, but only in-process.
     """
     if not spec.ks:
         raise ExperimentError(f"experiment {spec.name!r} has an empty k grid")
@@ -207,6 +242,24 @@ def run_experiment(
     if len(set(names)) != len(names):
         raise ExperimentError(f"duplicate algorithm names in {spec.name!r}: {names}")
 
+    # Registry-backed specs become solve_many entries; one opaque callable
+    # forces the whole grid onto the in-process path (it cannot be
+    # validated or, for process pools, pickled by the batch facade).
+    entries: list[tuple[str, dict[str, Any]]] | None = []
+    for algo in spec.algorithms:
+        if algo.algorithm is None:
+            entries = None
+            break
+        entries.append(
+            (algo.algorithm, {**dict(algo.options or {}), "label": algo.name})
+        )
+    if entries is None and executor is not None:
+        raise ExperimentError(
+            "executor fan-out needs registry-backed algorithms; build them "
+            "with solver_spec() (an AlgorithmSpec wrapping an opaque "
+            "callable cannot be scheduled through solve_many)"
+        )
+
     records: list[RunRecord] = []
     stream = SeedStream(spec.master_seed)
     for instance in range(spec.n_instances):
@@ -215,18 +268,52 @@ def run_experiment(
             spec.dataset, spec.n, seed=data_seed, **spec.dataset_params
         )
         space = dataset.space()
-        for run in range(spec.n_runs):
-            for algo in spec.algorithms:
-                algo_seed = stream.seeds(1)[0]
-                for k in spec.ks:
-                    if progress is not None:
+        # Plain-integer run seeds: a SeedSequence object is *stateful*
+        # (spawn() advances its child counter), so sharing one across the
+        # algorithms of a batch would make results depend on scheduling
+        # order.  Ints are immutable — every task derives its own streams.
+        run_seeds = [
+            int(s.generate_state(1)[0]) for s in stream.seeds(spec.n_runs)
+        ]
+        cell: dict[tuple[int, int, str], KCenterResult] = {}
+        for k in spec.ks:
+            # One (instance, k) cell is scheduled as a single batch, so
+            # per-run liveness inside it is not observable; the messages
+            # say "scheduling" to make that honest — the next burst only
+            # appears once the previous cell's batch has completed.
+            if progress is not None:
+                for run in range(spec.n_runs):
+                    for algo in spec.algorithms:
                         progress(
                             f"{spec.name}: instance {instance + 1}/{spec.n_instances} "
-                            f"run {run + 1}/{spec.n_runs} {algo.name} k={k}"
+                            f"k={k} scheduling {algo.name} "
+                            f"run {run + 1}/{spec.n_runs}"
                         )
-                    result = algo.run(space, int(k), algo_seed)
+            if entries is not None:
+                batch = solve_many(
+                    space,
+                    int(k),
+                    algorithms=entries,
+                    seeds=run_seeds,
+                    executor=executor,
+                )
+                for run, seed in enumerate(run_seeds):
+                    for algo in spec.algorithms:
+                        cell[(int(k), run, algo.name)] = batch[BatchKey(algo.name, seed)]
+            else:
+                for run, seed in enumerate(run_seeds):
+                    for algo in spec.algorithms:
+                        cell[(int(k), run, algo.name)] = algo.run(space, int(k), seed)
+        # Emit in the historical (run, algorithm, k) order so downstream
+        # consumers see a stable record layout regardless of batching.
+        for run in range(spec.n_runs):
+            for algo in spec.algorithms:
+                for k in spec.ks:
                     records.append(
-                        RunRecord.from_result(spec, instance, run, algo.name, result)
+                        RunRecord.from_result(
+                            spec, instance, run, algo.name,
+                            cell[(int(k), run, algo.name)],
+                        )
                     )
     return records
 

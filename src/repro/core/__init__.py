@@ -10,6 +10,9 @@
   fixes and pivot-rank parameter ``phi``;
 * :func:`~repro.core.hochbaum_shmoys.hochbaum_shmoys` — the alternative
   sequential 2-approximation the paper's future-work section points to;
+* :func:`~repro.core.streaming.stream_kcenter` — STREAM, the one-pass
+  streaming 8-approximation (Charikar et al. doubling algorithm), the
+  sequential-pass counterpoint to the paper's sharded scaling route;
 * :func:`~repro.core.exact.exact_kcenter` — brute-force oracle for tiny
   instances (testing);
 * :mod:`~repro.core.bounds` — certified lower bounds on OPT;
@@ -25,6 +28,7 @@ from repro.core.hochbaum_shmoys import hochbaum_shmoys
 from repro.core.mr_hochbaum_shmoys import mr_hochbaum_shmoys
 from repro.core.mrg import mrg
 from repro.core.result import KCenterResult
+from repro.core.streaming import DoublingTrace, doubling_trace, stream_kcenter
 
 __all__ = [
     "KCenterResult",
@@ -35,6 +39,9 @@ __all__ = [
     "EIMParams",
     "hochbaum_shmoys",
     "mr_hochbaum_shmoys",
+    "stream_kcenter",
+    "doubling_trace",
+    "DoublingTrace",
     "exact_kcenter",
     "assign",
     "covering_radius",

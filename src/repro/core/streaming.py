@@ -1,0 +1,266 @@
+"""STREAM — one-pass streaming k-center via the doubling algorithm.
+
+The paper's MapReduce algorithms scale by *sharding* the input; the other
+classic route is a *sequential pass* with bounded memory.  This module
+implements the doubling algorithm of Charikar, Chekuri, Feder & Motwani
+[CCFM 1997/2004], the standard one-pass 8-approximation: it keeps at most
+``k`` centers and a growing threshold ``r`` that is always a certified
+lower bound on OPT, and touches each point exactly once.
+
+Invariants maintained while streaming (with current threshold ``r``):
+
+1. the kept centers are pairwise more than ``4r`` apart;
+2. every point seen so far is within ``8r`` of some kept center;
+3. ``r < OPT`` whenever ``r > 0``.
+
+A new point further than ``8r`` from all centers becomes a center (which
+preserves 1 and 2).  When that makes ``k + 1`` centers, invariant 1 says
+they are pairwise ``> 4r``, so by pigeonhole two of them share an optimal
+center and ``OPT > 2r``; the algorithm *doubles* (``r <- 2r``, which keeps
+invariant 3) and greedily drops every center within ``4r`` of an earlier
+kept one (restoring 1; each dropped center is within ``4r`` of a keeper,
+so coverage degrades from ``8r_old = 4r`` to at most ``8r`` — restoring
+2).  At the end of the stream the covering radius is at most
+``8r < 8 OPT``.
+
+The first doubling bootstraps ``r`` from zero: until then the "centers"
+are just the first ``k + 1`` distinct points, and ``r`` is initialised to
+half their minimum pairwise distance (a valid lower bound by the same
+pigeonhole argument).
+
+The pass is order-sensitive — different arrival orders give different (all
+certified) solutions.  ``shuffle=True`` randomises the order with ``seed``,
+which is the knob the order-sensitivity tests exercise; the default is the
+space's index order, making the solver fully deterministic.  Points are
+consumed in vectorised batches of ``batch_size``: a batch is screened
+against the current centers in one fused kernel call and only the rare
+survivors take the scalar path, so the pass stays O(kn) distance
+evaluations with O(k) state.  The *solution* — centers, threshold,
+doubling count, and hence the radius — is identical for every
+``batch_size``, because covered points never mutate the center state.
+The incremental coverage certificate (:attr:`DoublingTrace.cover_bound`)
+is always a valid upper bound, but its *tightness* can vary with batch
+granularity: coverage distances are recorded against the batch-start
+snapshot, which may be slightly stale for points whose batch also
+promoted new centers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.assignment import covering_radius
+from repro.core.result import KCenterResult
+from repro.errors import InvalidParameterError
+from repro.metric.base import MetricSpace
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.timing import Timer
+
+__all__ = ["DoublingTrace", "doubling_trace", "stream_kcenter"]
+
+
+@dataclass
+class DoublingTrace:
+    """Raw outcome of one streaming pass.
+
+    Attributes
+    ----------
+    centers:
+        Indices (into the space) of the at most ``k`` kept centers, in the
+        order they were first promoted.
+    threshold:
+        The final doubling threshold ``r``; once positive it is a
+        *certified lower bound* on OPT (``OPT > r``).
+    cover_bound:
+        Certified upper bound on the covering radius of the kept centers,
+        maintained incrementally during the pass (coverage distances seen,
+        plus the merge slack accumulated at each doubling).  Always at
+        most ``8 * threshold`` — the 8-approximation certificate — and
+        usually much tighter.  Unlike the centers, this value may vary
+        slightly with ``batch_size`` (screen distances are taken against
+        the batch-start snapshot); every variant is a valid bound.
+    doublings:
+        Number of threshold doublings (including the bootstrap that sets
+        ``r`` from zero).
+    n_seen:
+        Points consumed (the whole space: this is a single full pass).
+    """
+
+    centers: np.ndarray
+    threshold: float
+    cover_bound: float
+    doublings: int
+    n_seen: int
+
+
+def _merge_centers(
+    space: MetricSpace,
+    centers: list[int],
+    k: int,
+    r: float,
+    bound: float,
+) -> tuple[float, float, list[int], int]:
+    """Double ``r`` and thin ``centers`` until at most ``k`` remain.
+
+    Returns the new ``(r, bound, centers, doublings)``.  Keeps the oldest
+    center of every cluster of nearby centers, so the outcome depends only
+    on promotion order.
+    """
+    doublings = 0
+    while len(centers) > k:
+        c_arr = np.asarray(centers, dtype=np.intp)
+        dmat = space.cross(c_arr, c_arr)
+        if r == 0.0:
+            # Bootstrap: k+1 distinct points; half the minimum pairwise
+            # distance lower-bounds OPT (pigeonhole + triangle inequality).
+            off_diagonal = dmat[~np.eye(len(c_arr), dtype=bool)]
+            r = float(off_diagonal.min()) / 2.0
+        else:
+            r = 2.0 * r
+        doublings += 1
+        keep: list[int] = []
+        merge_dist = 0.0
+        for i in range(len(c_arr)):
+            nearest = float(dmat[i, keep].min()) if keep else np.inf
+            if nearest > 4.0 * r:
+                keep.append(i)
+            else:
+                merge_dist = max(merge_dist, nearest)
+        if len(keep) < len(c_arr):
+            # Points covered by a dropped center are now covered by its
+            # keeper, at most merge_dist (<= 4r) further away.
+            bound += merge_dist
+        centers = [int(c_arr[i]) for i in keep]
+    return r, bound, centers, doublings
+
+
+def doubling_trace(
+    space: MetricSpace,
+    k: int,
+    seed: SeedLike = None,
+    shuffle: bool = False,
+    batch_size: int = 2048,
+) -> DoublingTrace:
+    """Run the one-pass doubling algorithm; return the full trace.
+
+    Parameters
+    ----------
+    space:
+        Metric space whose points arrive as the stream.
+    k:
+        Number of centers to maintain (positive).
+    seed:
+        RNG for the arrival order when ``shuffle`` is set (unused
+        otherwise — the default pass is deterministic).
+    shuffle:
+        Stream the points in a seeded random order instead of index
+        order.  The algorithm is order-sensitive, so this is the knob for
+        studying (and testing) arrival-order effects.
+    batch_size:
+        Vectorisation granularity of the coverage screen; has no effect
+        on the computed centers (and hence the radius), only on kernel
+        call sizes and the tightness of :attr:`DoublingTrace.cover_bound`.
+    """
+    if k <= 0:
+        raise InvalidParameterError(f"k must be positive, got {k}")
+    if batch_size <= 0:
+        raise InvalidParameterError(f"batch_size must be positive, got {batch_size}")
+    n = space.n
+    if n == 0:
+        return DoublingTrace(
+            centers=np.empty(0, dtype=np.intp),
+            threshold=0.0,
+            cover_bound=0.0,
+            doublings=0,
+            n_seen=0,
+        )
+    if shuffle:
+        order = as_generator(seed).permutation(n).astype(np.intp)
+    else:
+        order = np.arange(n, dtype=np.intp)
+
+    centers: list[int] = [int(order[0])]
+    r = 0.0
+    bound = 0.0
+    doublings = 0
+    for start in range(1, n, batch_size):
+        batch = order[start : start + batch_size]
+        # Screen the whole batch against the centers as they stood at the
+        # batch boundary.  A point within 8r of that snapshot stays within
+        # 8r of the final set (centers only gain coverage; r only grows),
+        # so only the screen's survivors need the exact scalar path.
+        snapshot = np.asarray(centers, dtype=np.intp)
+        dists = space.min_dists(batch, snapshot)
+        covered = dists <= 8.0 * r
+        if covered.any():
+            bound = max(bound, float(dists[covered].max()))
+        for p in batch[~covered]:
+            current = np.asarray(centers, dtype=np.intp)
+            d_p = float(space.min_dists(np.asarray([p], dtype=np.intp), current)[0])
+            if d_p <= 8.0 * r:
+                bound = max(bound, d_p)
+                continue
+            centers.append(int(p))
+            if len(centers) > k:
+                r, bound, centers, merges = _merge_centers(space, centers, k, r, bound)
+                doublings += merges
+    return DoublingTrace(
+        centers=np.asarray(centers, dtype=np.intp),
+        threshold=r,
+        cover_bound=bound,
+        doublings=doublings,
+        n_seen=n,
+    )
+
+
+def stream_kcenter(
+    space: MetricSpace,
+    k: int,
+    seed: SeedLike = None,
+    shuffle: bool = False,
+    batch_size: int = 2048,
+    evaluate: bool = True,
+) -> KCenterResult:
+    """STREAM: one-pass streaming 8-approximation (doubling algorithm).
+
+    Parameters are those of :func:`doubling_trace` plus ``evaluate``: when
+    true (default) the exact covering radius is computed over the full
+    space after the pass — a *second* pass, reported in ``eval_time`` and
+    not charged to the algorithm, mirroring the MapReduce solvers'
+    convention.  With ``evaluate=False`` the result stays strictly
+    one-pass: ``radius`` is 0.0 and ``extra["radius_bound"]`` carries the
+    certified upper bound from the trace.
+
+    Returns a :class:`KCenterResult` with ``approx_factor`` 8;
+    ``extra["threshold"]`` is a certified lower bound on OPT (once any
+    doubling has occurred), so every run ships its own quality
+    certificate: ``threshold < OPT <= radius <= radius_bound``.
+    """
+    timer = Timer()
+    with timer:
+        trace = doubling_trace(
+            space, k, seed=seed, shuffle=shuffle, batch_size=batch_size
+        )
+    eval_timer = Timer()
+    radius = 0.0
+    if evaluate and trace.centers.size:
+        with eval_timer:
+            radius = covering_radius(space, trace.centers)
+    return KCenterResult(
+        algorithm="STREAM",
+        centers=trace.centers,
+        radius=radius,
+        k=k,
+        wall_time=timer.elapsed,
+        eval_time=eval_timer.elapsed,
+        approx_factor=8.0,
+        extra={
+            "threshold": trace.threshold,
+            "radius_bound": trace.cover_bound,
+            "doublings": trace.doublings,
+            "batch_size": batch_size,
+            "shuffle": shuffle,
+        },
+    )

@@ -16,12 +16,17 @@ methodology exactly, plus the bookkeeping the paper's analysis needs:
   arithmetic from Section 3 (two-round feasibility, the Eq. (1) machine
   recurrence, round counts for the multi-round regime);
 * :mod:`~repro.mapreduce.executor` — sequential (default, faithful to the
-  paper) and process-pool (real multicore) task executors.
+  paper), thread-pool (shared memory, BLAS-released kernels overlap) and
+  process-pool (real multicore) task executors behind one protocol.
 """
 
 from repro.mapreduce.accounting import JobStats, RoundStats
 from repro.mapreduce.cluster import SimulatedCluster
-from repro.mapreduce.executor import ProcessPoolExecutorBackend, SequentialExecutor
+from repro.mapreduce.executor import (
+    ProcessPoolExecutorBackend,
+    SequentialExecutor,
+    ThreadPoolExecutorBackend,
+)
 from repro.mapreduce.job import MapReduceJob, MapReduceRound
 from repro.mapreduce.model import (
     machines_after_rounds,
@@ -38,6 +43,7 @@ __all__ = [
     "MapReduceJob",
     "MapReduceRound",
     "SequentialExecutor",
+    "ThreadPoolExecutorBackend",
     "ProcessPoolExecutorBackend",
     "block_partition",
     "random_partition",

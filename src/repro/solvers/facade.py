@@ -15,6 +15,7 @@ pool) and scheduling order.
 
 from __future__ import annotations
 
+import copy
 from functools import partial
 from typing import Any, Iterable, Mapping, NamedTuple, Sequence, Union
 
@@ -22,7 +23,7 @@ import repro.solvers.catalog  # noqa: F401  (side effect: populate REGISTRY)
 from repro.core.result import KCenterResult
 from repro.errors import InvalidParameterError
 from repro.mapreduce.executor import Executor, SequentialExecutor
-from repro.metric.base import MetricSpace
+from repro.metric.base import DistCounter, MetricSpace
 from repro.solvers.config import SHARED_KNOBS, UNSET, SolveConfig
 from repro.solvers.registry import SolverSpec, get_solver
 
@@ -96,8 +97,21 @@ def solve(
 
 
 def _run_one(space: MetricSpace, k: int, name: str, kwargs: dict) -> KCenterResult:
-    """Top-level runner so batch tasks stay picklable for process pools."""
-    return get_solver(name).fn(space, k, **kwargs)
+    """Top-level runner so batch tasks stay picklable for process pools.
+
+    The run gets a shallow copy of the space with a *private*
+    :class:`~repro.metric.base.DistCounter`: point data stays shared, but
+    accounting state does not.  A shared counter would make each run's
+    recorded ``dist_evals`` absorb whatever other tasks evaluated
+    concurrently (the MapReduce solvers snapshot counter deltas per
+    round), so per-run stats would depend on the executor's scheduling.
+    With private counters, every field of every result — including the
+    operation counts — is identical on sequential, thread and process
+    backends.
+    """
+    task_space = copy.copy(space)
+    task_space.counter = DistCounter()
+    return get_solver(name).fn(task_space, k, **kwargs)
 
 
 def _normalise_algorithms(

@@ -12,8 +12,14 @@ from repro.analysis.experiments import (
     gon_spec,
     mrg_spec,
     run_experiment,
+    solver_spec,
 )
+from repro.core.gonzalez import gonzalez
 from repro.errors import ExperimentError
+from repro.mapreduce.executor import (
+    ProcessPoolExecutorBackend,
+    ThreadPoolExecutorBackend,
+)
 
 
 def _spec(**kw):
@@ -91,6 +97,74 @@ class TestRunExperiment:
         assert eim_spec(phi=4.0).name == "EIM(phi=4)"
         assert eim_spec(phi=8.0).name == "EIM"
         assert eim_spec(phi=4.0, name="custom").name == "custom"
+
+    def test_solver_spec_carries_registry_info(self):
+        spec = solver_spec("mrg", m=4, partitioner="block")
+        assert spec.algorithm == "mrg"
+        assert spec.options == {"m": 4, "partitioner": "block"}
+        assert gon_spec().algorithm == "gon"
+
+
+class TestRunExperimentExecutors:
+    def _spec(self, **kw):
+        defaults = dict(
+            name="t",
+            dataset="unif",
+            n=400,
+            ks=[2, 3],
+            algorithms=[gon_spec(), mrg_spec(m=4), eim_spec(m=4)],
+            n_instances=1,
+            n_runs=2,
+            master_seed=3,
+        )
+        defaults.update(kw)
+        return ExperimentSpec(**defaults)
+
+    def _key(self, rec):
+        # dist_evals included deliberately: a backend that shares
+        # accounting state across concurrent runs corrupts exactly this
+        # field while leaving radius untouched.
+        return (
+            rec.algorithm, rec.k, rec.instance, rec.run,
+            rec.radius, rec.rounds, rec.dist_evals,
+        )
+
+    def test_thread_pool_records_bit_identical(self):
+        spec = self._spec()
+        sequential = run_experiment(spec)
+        threaded = run_experiment(
+            spec, executor=ThreadPoolExecutorBackend(max_workers=4)
+        )
+        assert [self._key(r) for r in sequential] == [self._key(r) for r in threaded]
+
+    def test_process_pool_records_bit_identical(self):
+        spec = self._spec(ks=[2])
+        sequential = run_experiment(spec)
+        pooled = run_experiment(
+            spec, executor=ProcessPoolExecutorBackend(max_workers=2)
+        )
+        assert [self._key(r) for r in sequential] == [self._key(r) for r in pooled]
+
+    def test_streaming_solver_in_a_grid(self):
+        records = run_experiment(
+            self._spec(algorithms=[solver_spec("stream"), gon_spec()], ks=[3])
+        )
+        assert {r.algorithm for r in records} == {"STREAM", "GON"}
+        assert all(r.radius > 0 for r in records)
+
+    def test_opaque_callable_still_runs_sequentially(self):
+        opaque = AlgorithmSpec("RAWGON", lambda space, k, seed: gonzalez(space, k, seed=seed))
+        records = run_experiment(self._spec(algorithms=[opaque], ks=[2], n_runs=1))
+        assert len(records) == 1
+        assert records[0].algorithm == "RAWGON"
+
+    def test_opaque_callable_rejected_on_executor_path(self):
+        opaque = AlgorithmSpec("RAWGON", lambda space, k, seed: gonzalez(space, k, seed=seed))
+        with pytest.raises(ExperimentError, match="registry-backed"):
+            run_experiment(
+                self._spec(algorithms=[opaque]),
+                executor=ThreadPoolExecutorBackend(),
+            )
 
 
 class TestAggregate:

@@ -78,9 +78,18 @@ class TestSolveCommand:
     def test_solve_list_shows_registry(self, capsys):
         assert main(["solve", "list"]) == 0
         out = capsys.readouterr().out
-        for name in ("gon", "mrg", "eim", "hs", "mrhs", "exact"):
+        for name in ("gon", "mrg", "eim", "hs", "mrhs", "stream", "exact"):
             assert name in out
         assert "registered k-center solvers" in out
+
+    def test_solve_stream_runs_end_to_end(self, capsys):
+        assert main(
+            ["solve", "stream", "--k", "5", "--n", "2000", "--quiet",
+             "--opt", "shuffle=True"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "STREAM" in out
+        assert "radius <= 8 x OPT" in out
 
     def test_solve_runs_end_to_end(self, capsys):
         assert main(["solve", "eim", "--k", "10", "--n", "3000", "--quiet"]) == 0

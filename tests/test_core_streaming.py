@@ -1,0 +1,174 @@
+"""Tests for the one-pass streaming doubling solver (STREAM)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.exact import exact_kcenter
+from repro.core.streaming import doubling_trace, stream_kcenter
+from repro.errors import InvalidParameterError
+from repro.metric.euclidean import EuclideanSpace
+
+
+@pytest.fixture(scope="module")
+def space():
+    points = np.random.default_rng(11).normal(size=(500, 3))
+    return EuclideanSpace(points)
+
+
+@pytest.fixture(scope="module")
+def tiny_space():
+    points = np.random.default_rng(4).normal(size=(30, 2))
+    return EuclideanSpace(points)
+
+
+class TestApproximation:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_radius_within_8x_exact(self, tiny_space, k):
+        opt = exact_kcenter(tiny_space, k).radius
+        result = stream_kcenter(tiny_space, k)
+        assert result.radius <= 8.0 * opt + 1e-12
+
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_shuffled_orders_stay_within_8x(self, tiny_space, k):
+        opt = exact_kcenter(tiny_space, k).radius
+        for seed in range(5):
+            result = stream_kcenter(tiny_space, k, seed=seed, shuffle=True)
+            assert result.radius <= 8.0 * opt + 1e-12
+
+    def test_certificate_brackets_radius(self, space):
+        result = stream_kcenter(space, 8, seed=0)
+        # threshold < OPT <= radius <= radius_bound <= 8 * threshold
+        assert result.extra["threshold"] <= result.radius + 1e-12
+        assert result.radius <= result.extra["radius_bound"] + 1e-12
+        assert result.extra["radius_bound"] <= 8.0 * result.extra["threshold"] + 1e-12
+
+    def test_result_fields(self, space):
+        result = stream_kcenter(space, 8, seed=0)
+        assert result.algorithm == "STREAM"
+        assert result.approx_factor == 8.0
+        assert result.n_centers <= 8
+        assert result.n_rounds == 0  # sequential: no MapReduce accounting
+        assert result.stats is None
+        assert result.extra["doublings"] >= 1
+
+
+class TestDeterminism:
+    def test_default_order_is_deterministic(self, space):
+        a = stream_kcenter(space, 6)
+        b = stream_kcenter(space, 6)
+        assert (a.centers == b.centers).all()
+        assert a.radius == b.radius
+        assert a.extra == {**b.extra}
+
+    def test_same_shuffle_seed_same_result(self, space):
+        a = stream_kcenter(space, 6, seed=42, shuffle=True)
+        b = stream_kcenter(space, 6, seed=42, shuffle=True)
+        assert (a.centers == b.centers).all()
+        assert a.radius == b.radius
+
+    def test_order_sensitivity_under_different_seeds(self, space):
+        # The pass is order-sensitive: across several shuffle seeds at
+        # least one arrival order must select a different center set.
+        baseline = stream_kcenter(space, 6, seed=0, shuffle=True)
+        assert any(
+            not np.array_equal(
+                stream_kcenter(space, 6, seed=s, shuffle=True).centers,
+                baseline.centers,
+            )
+            for s in range(1, 6)
+        )
+
+    def test_batch_size_never_changes_the_solution(self, space):
+        # Centers, threshold and doubling count are batch-size invariant.
+        # cover_bound is deliberately NOT compared: its tightness (never
+        # its validity) depends on batch granularity — the screen records
+        # coverage distances against the batch-start snapshot.
+        reference = doubling_trace(space, 5)
+        true_radius = space.covering_radius(reference.centers)
+        for batch_size in (1, 3, 17, 100, 10_000):
+            trace = doubling_trace(space, 5, batch_size=batch_size)
+            assert (trace.centers == reference.centers).all()
+            assert trace.threshold == reference.threshold
+            assert trace.doublings == reference.doublings
+            # every batching's certificate stays valid
+            assert true_radius <= trace.cover_bound + 1e-12
+            assert trace.cover_bound <= 8.0 * trace.threshold + 1e-12
+
+
+class TestEdgeCases:
+    def test_empty_space(self):
+        result = stream_kcenter(EuclideanSpace(np.empty((0, 2))), 3)
+        assert result.n_centers == 0
+        assert result.radius == 0.0
+
+    def test_fewer_points_than_k(self):
+        pts = np.random.default_rng(0).normal(size=(4, 2))
+        result = stream_kcenter(EuclideanSpace(pts), 10)
+        # every distinct point becomes a center: perfect cover
+        assert result.n_centers == 4
+        assert result.radius == 0.0
+
+    def test_duplicate_points_are_absorbed(self):
+        pts = np.repeat(np.random.default_rng(1).normal(size=(3, 2)), 20, axis=0)
+        result = stream_kcenter(EuclideanSpace(pts), 3)
+        assert result.n_centers == 3
+        assert result.radius == 0.0
+
+    def test_k_one(self, tiny_space):
+        opt = exact_kcenter(tiny_space, 1).radius
+        result = stream_kcenter(tiny_space, 1)
+        assert result.n_centers == 1
+        assert result.radius <= 8.0 * opt + 1e-12
+
+    def test_invalid_parameters(self, tiny_space):
+        with pytest.raises(InvalidParameterError, match="positive"):
+            stream_kcenter(tiny_space, 0)
+        with pytest.raises(InvalidParameterError, match="batch_size"):
+            stream_kcenter(tiny_space, 2, batch_size=0)
+
+    def test_no_evaluate_stays_one_pass(self, space):
+        result = stream_kcenter(space, 5, evaluate=False)
+        assert result.radius == 0.0
+        assert result.eval_time == 0.0
+        # the certificate still covers the true radius
+        true_radius = space.covering_radius(result.centers)
+        assert true_radius <= result.extra["radius_bound"] + 1e-12
+
+    def test_centers_are_valid_and_unique(self, space):
+        centers = stream_kcenter(space, 7, seed=1, shuffle=True).centers
+        assert len(np.unique(centers)) == len(centers)
+        assert centers.min() >= 0 and centers.max() < space.n
+
+
+class TestFacadeIntegration:
+    def test_facade_matches_direct_call(self, space):
+        direct = stream_kcenter(space, 5, seed=3, shuffle=True)
+        via = repro.solve(space, 5, algorithm="stream", seed=3, shuffle=True)
+        assert (via.centers == direct.centers).all()
+        assert via.radius == direct.radius
+
+    def test_aliases(self, space):
+        for alias in ("streaming", "doubling", "charikar", "STREAM"):
+            result = repro.solve(space, 4, algorithm=alias)
+            assert result.algorithm == "STREAM"
+
+    def test_unknown_option_rejected_up_front(self, space):
+        with pytest.raises(InvalidParameterError, match="unknown option"):
+            repro.solve(space, 4, algorithm="stream", buffer_size=10)
+
+    def test_cluster_knob_rejected(self, space):
+        with pytest.raises(InvalidParameterError, match="does not accept"):
+            repro.solve(space, 4, algorithm="stream", m=50)
+
+    def test_solve_many_mixes_stream_with_mapreduce(self, space):
+        batch = repro.solve_many(
+            space, 4, algorithms=("stream", "mrg"), seeds=(0, 1), m=4
+        )
+        assert len(batch) == 4
+        assert batch["stream", 0].algorithm == "STREAM"
+        assert batch["mrg", 1].algorithm == "MRG"
+
+    def test_top_level_export(self):
+        assert repro.stream_kcenter is stream_kcenter
+        assert "stream_kcenter" in repro.__all__

@@ -24,8 +24,10 @@ class TestCanonicalKey:
 
 
 class TestBuiltinCatalog:
-    def test_all_six_registered(self):
-        assert solver_names() == ["eim", "exact", "gon", "hs", "mrg", "mrhs"]
+    def test_all_seven_registered(self):
+        assert solver_names() == [
+            "eim", "exact", "gon", "hs", "mrg", "mrhs", "stream",
+        ]
 
     def test_kinds_and_factors(self):
         expected = {
@@ -34,6 +36,7 @@ class TestBuiltinCatalog:
             "eim": ("mapreduce", 10.0),
             "hs": ("sequential", 2.0),
             "mrhs": ("mapreduce", 8.0),
+            "stream": ("sequential", 8.0),
             "exact": ("exact", 1.0),
         }
         for name, (kind, factor) in expected.items():
@@ -46,6 +49,8 @@ class TestBuiltinCatalog:
         assert get_solver("GON") is get_solver("gon")
         assert get_solver("mr-hochbaum-shmoys") is get_solver("mrhs")
         assert get_solver("Ene_Im_Moseley") is get_solver("eim")
+        assert get_solver("doubling") is get_solver("stream")
+        assert get_solver("Streaming") is get_solver("stream")
 
     def test_labels_match_result_tags(self):
         for spec in list_solvers():
@@ -67,7 +72,7 @@ class TestBuiltinCatalog:
         assert "eim" in REGISTRY
         assert "EIM" in REGISTRY
         assert "nope" not in REGISTRY
-        assert len(REGISTRY) == 6
+        assert len(REGISTRY) == 7
         assert [spec.name for spec in REGISTRY] == solver_names()
 
 
