@@ -16,6 +16,8 @@ grow).  Shape claims asserted:
   ratio of the a-priori bounds).
 """
 
+import os
+
 from benchmarks.conftest import write_artifact
 from repro.core.bounds import greedy_lower_bound
 from repro.core.gonzalez import gonzalez
@@ -25,6 +27,12 @@ from repro.utils.tables import format_table
 
 K = 10
 SIZES = (5_000, 20_000, 50_000)
+
+# REPRO_BENCH_MAX_N caps instance sizes so the CI bench-smoke job can run
+# the full bench logic (table, shape assertions) in seconds.
+_cap = int(os.environ.get("REPRO_BENCH_MAX_N", "0"))
+if _cap:
+    SIZES = tuple(n for n in SIZES if n <= _cap) or (_cap,)
 
 
 def test_stream_vs_gon(artifact_dir):

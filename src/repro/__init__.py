@@ -50,8 +50,18 @@ from repro.core import (
     mrg,
     packing_lower_bound,
     stream_kcenter,
+    stream_kcenter_from_stream,
 )
-from repro.data import Dataset, gau, kddcup99, make_dataset, poker_hand, unb, unif
+from repro.data import (
+    Dataset,
+    gau,
+    kddcup99,
+    make_dataset,
+    make_stream,
+    poker_hand,
+    unb,
+    unif,
+)
 from repro.errors import (
     CapacityError,
     ConvergenceError,
@@ -63,6 +73,16 @@ from repro.errors import (
 )
 from repro.mapreduce import SimulatedCluster
 from repro.metric import EuclideanSpace, MetricSpace, MinkowskiSpace, PrecomputedSpace
+from repro.store import (
+    ArrayStream,
+    ChunkedMetricSpace,
+    DistanceCache,
+    GeneratorStream,
+    MemmapStream,
+    PointStream,
+    as_space,
+    as_stream,
+)
 from repro.solvers import (
     BatchKey,
     SolveConfig,
@@ -98,6 +118,7 @@ __all__ = [
     "hochbaum_shmoys",
     "mr_hochbaum_shmoys",
     "stream_kcenter",
+    "stream_kcenter_from_stream",
     "exact_kcenter",
     "assign",
     "covering_radius",
@@ -109,11 +130,21 @@ __all__ = [
     "EuclideanSpace",
     "MinkowskiSpace",
     "PrecomputedSpace",
+    # store (out-of-core data layer)
+    "PointStream",
+    "ArrayStream",
+    "MemmapStream",
+    "GeneratorStream",
+    "ChunkedMetricSpace",
+    "DistanceCache",
+    "as_stream",
+    "as_space",
     # substrate
     "SimulatedCluster",
     # data
     "Dataset",
     "make_dataset",
+    "make_stream",
     "unif",
     "gau",
     "unb",

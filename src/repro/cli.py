@@ -9,6 +9,7 @@ Examples
     repro-kcenter solve eim --k 10
     repro-kcenter solve mrg --k 25 --n 100000 --dataset unif --m 50
     repro-kcenter solve eim --k 10 --opt phi=4 --opt eps=0.2
+    repro-kcenter solve stream --k 25 --data points.npy
     repro-kcenter run table3
     repro-kcenter run figure2a --scale paper
     repro-kcenter run table6 --m 50 --seed 7
@@ -17,6 +18,10 @@ Examples
 ``solve`` routes through the unified :func:`repro.solve` facade, so any
 algorithm registered via :func:`repro.solvers.register_solver` — including
 downstream plugins — is immediately runnable and shown by ``solve list``.
+``--data points.npy`` solves a file instead of a generated dataset: the
+file is memory-mapped and consumed chunk by chunk through
+:mod:`repro.store`, so inputs larger than RAM work (pair with the
+``stream`` solver, whose working state is O(k)).
 ``run`` reproduces a paper experiment; its output is the paper-layout
 table (or ASCII chart) plus, where the paper published numbers, a
 side-by-side comparison and the qualitative shape checks from
@@ -206,11 +211,26 @@ def _run_solve_command(args: argparse.Namespace) -> int:
             raise InvalidParameterError(
                 f"{key!r} is a shared knob, not a solver option; {hint}"
             )
-    data_seed = args.data_seed if args.data_seed is not None else args.seed
-    dataset = make_dataset(args.dataset, args.n, seed=data_seed)
-    space = dataset.space()
+    if args.data is not None:
+        from repro.store import MemmapStream, ChunkedMetricSpace
+
+        stream = MemmapStream(args.data, chunk_size=args.chunk_size)
+        space = ChunkedMetricSpace(stream)
+        source = args.data
+        n, dim = stream.n, stream.dim
+        if not args.quiet:
+            _progress(
+                f"{args.data}: n={n}, dim={dim} (out-of-core, "
+                f"chunk={stream.chunk_size})"
+            )
+    else:
+        data_seed = args.data_seed if args.data_seed is not None else args.seed
+        dataset = make_dataset(args.dataset, args.n, seed=data_seed)
+        space = dataset.space()
+        source, n = args.dataset, dataset.n
+        if not args.quiet:
+            _progress(f"{args.dataset}: n={dataset.n}, dim={dataset.dim}")
     if not args.quiet:
-        _progress(f"{args.dataset}: n={dataset.n}, dim={dataset.dim}")
         _progress(f"solving with {spec.name} (kind={spec.kind}), k={args.k}")
     result = solve(
         space,
@@ -228,7 +248,7 @@ def _run_solve_command(args: argparse.Namespace) -> int:
         format_table(
             ["field", "value"],
             rows,
-            title=f"{result.algorithm} on {args.dataset} (n={dataset.n}, k={args.k})",
+            title=f"{result.algorithm} on {source} (n={n}, k={args.k})",
         )
     )
     if result.approx_factor is not None:
@@ -257,6 +277,15 @@ def main(argv: list[str] | None = None) -> int:
     solve_cmd.add_argument(
         "--dataset", choices=sorted(DATASETS), default="gau",
         help="workload from the dataset registry (default: gau)",
+    )
+    solve_cmd.add_argument(
+        "--data", metavar="PATH", default=None,
+        help="solve a .npy point file out-of-core (memmapped, chunked) "
+             "instead of generating --dataset; --n/--data-seed are ignored",
+    )
+    solve_cmd.add_argument(
+        "--chunk-size", type=int, default=None,
+        help="rows per chunk for --data (default: the block byte budget)",
     )
     solve_cmd.add_argument(
         "--m", type=int, default=None,

@@ -28,7 +28,12 @@ from repro.core.hochbaum_shmoys import hochbaum_shmoys
 from repro.core.mr_hochbaum_shmoys import mr_hochbaum_shmoys
 from repro.core.mrg import mrg
 from repro.core.result import KCenterResult
-from repro.core.streaming import DoublingTrace, doubling_trace, stream_kcenter
+from repro.core.streaming import (
+    DoublingTrace,
+    doubling_trace,
+    stream_kcenter,
+    stream_kcenter_from_stream,
+)
 
 __all__ = [
     "KCenterResult",
@@ -40,6 +45,7 @@ __all__ = [
     "hochbaum_shmoys",
     "mr_hochbaum_shmoys",
     "stream_kcenter",
+    "stream_kcenter_from_stream",
     "doubling_trace",
     "DoublingTrace",
     "exact_kcenter",

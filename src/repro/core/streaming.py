@@ -58,7 +58,12 @@ from repro.metric.base import MetricSpace
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.timing import Timer
 
-__all__ = ["DoublingTrace", "doubling_trace", "stream_kcenter"]
+__all__ = [
+    "DoublingTrace",
+    "doubling_trace",
+    "stream_kcenter",
+    "stream_kcenter_from_stream",
+]
 
 
 @dataclass
@@ -264,3 +269,37 @@ def stream_kcenter(
             "shuffle": shuffle,
         },
     )
+
+
+def stream_kcenter_from_stream(
+    data,
+    k: int,
+    chunk_size: int | None = None,
+    **kwargs,
+) -> KCenterResult:
+    """Out-of-core STREAM: run the doubling pass directly over chunked data.
+
+    ``data`` is anything :func:`repro.store.as_stream` accepts — a
+    :class:`~repro.store.stream.PointStream`, a ``.npy`` path (memmapped,
+    one chunk resident at a time), or an in-memory array.  The stream is
+    wrapped in a :class:`~repro.store.space.ChunkedMetricSpace`, so the
+    whole solve — including the second evaluation pass — allocates no
+    ``(n, d)`` or ``(n, n)`` array and returns **bit-identical** centers,
+    radius and distance-evaluation counts to :func:`stream_kcenter` over
+    the materialised points.  Remaining ``kwargs`` are those of
+    :func:`stream_kcenter`.
+
+    The one-pass/O(k)-state structure of the doubling algorithm is what
+    makes this pairing natural: the pass consumes each chunk once, in
+    order, so disk (or generator) streaming is free.  ``shuffle=True``
+    still works but defeats the sequential access pattern (every batch
+    gathers scattered rows); prefer pre-shuffled files for arrival-order
+    studies at scale.
+    """
+    # Local import: repro.store layers *on top of* the metric substrate;
+    # importing it lazily keeps repro.core free of an import-time cycle if
+    # store ever grows core-level dependencies.
+    from repro.store import ChunkedMetricSpace, as_stream
+
+    space = ChunkedMetricSpace(as_stream(data, chunk_size=chunk_size))
+    return stream_kcenter(space, k, **kwargs)

@@ -20,14 +20,22 @@ DESIGN.md:
 :mod:`repro.data.registry` maps experiment-facing names to generators.
 """
 
-from repro.data.registry import DATASETS, Dataset, make_dataset
+from repro.data.registry import (
+    DATASETS,
+    STREAMABLE,
+    Dataset,
+    make_dataset,
+    make_stream,
+)
 from repro.data.realistic import kddcup99, poker_hand
 from repro.data.synthetic import gau, unb, unif
 
 __all__ = [
     "Dataset",
     "DATASETS",
+    "STREAMABLE",
     "make_dataset",
+    "make_stream",
     "unif",
     "gau",
     "unb",

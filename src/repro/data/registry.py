@@ -18,7 +18,7 @@ from repro.errors import DatasetError
 from repro.metric.euclidean import EuclideanSpace
 from repro.utils.rng import SeedLike
 
-__all__ = ["Dataset", "DATASETS", "make_dataset"]
+__all__ = ["Dataset", "DATASETS", "STREAMABLE", "make_dataset", "make_stream"]
 
 
 @dataclass
@@ -73,6 +73,43 @@ DATASETS: dict[str, Callable[..., np.ndarray]] = {
     "poker": _make_poker,
     "kddcup": _make_kdd,
 }
+
+#: Families with a chunked out-of-core generator (see :func:`make_stream`).
+STREAMABLE = ("unif", "gau", "unb")
+
+
+def make_stream(
+    name: str,
+    n: int,
+    seed: SeedLike = None,
+    chunk_size: int | None = None,
+    **params,
+):
+    """Instantiate a registered synthetic family as a chunked stream.
+
+    The out-of-core twin of :func:`make_dataset`: returns a
+    :class:`~repro.store.generate.GeneratorStream` that produces the
+    points chunk by chunk (write it to disk with ``stream.to_npy(path)``
+    or solve it directly via ``repro.solve(stream, ...)``) without ever
+    materialising an ``(n, dim)`` array.  Streamed datasets are
+    reproducible functions of ``(name, n, params, seed)`` and independent
+    of ``chunk_size``, but are distinct instances from the one-shot
+    :func:`make_dataset` draws (per-chunk seeding; see
+    :mod:`repro.store.generate`).
+
+    Only the synthetic families stream (:data:`STREAMABLE`); the
+    realistic workloads are sampled from fixed corpora and should be
+    written to ``.npy`` once and re-read through
+    :class:`~repro.store.stream.MemmapStream` instead.
+    """
+    if name not in STREAMABLE:
+        raise DatasetError(
+            f"dataset {name!r} has no chunked generator; "
+            f"streamable families: {sorted(STREAMABLE)}"
+        )
+    from repro.store.generate import GeneratorStream
+
+    return GeneratorStream(name, n, seed=seed, chunk_size=chunk_size, **params)
 
 
 def make_dataset(name: str, n: int, seed: SeedLike = None, **params) -> Dataset:

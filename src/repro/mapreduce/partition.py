@@ -30,14 +30,31 @@ def _check(n: int, m: int) -> None:
         raise InvalidParameterError(f"m must be positive, got {m}")
 
 
-def block_partition(n: int, m: int) -> list[np.ndarray]:
+def block_partition(n: int, m: int, align: int | None = None) -> list[np.ndarray]:
     """Contiguous blocks; block sizes differ by at most one.
 
     Deterministic and order-preserving — the "arbitrary" partition of
     Algorithm 1 as a real system would implement it for pre-sharded input.
+
+    With ``align`` set, every machine boundary is snapped to a multiple of
+    ``align`` (except the final one at ``n``).  This is the out-of-core
+    mode: partitioning a :class:`~repro.store.space.ChunkedMetricSpace`
+    with ``align=stream.chunk_size`` makes every machine's ``local`` view
+    load whole chunks, so no chunk is read by two machines.  Balance is
+    then in *chunks*: sizes differ by at most one chunk (the strict
+    ``ceil(n/m)`` cap of the unaligned mode relaxes to
+    ``align * ceil(n / (m * align))``), and when there are fewer chunks
+    than machines the trailing machines receive empty shards.
     """
     _check(n, m)
-    bounds = np.linspace(0, n, m + 1).astype(np.intp)
+    if align is not None:
+        if align <= 0:
+            raise InvalidParameterError(f"align must be positive, got {align}")
+        n_chunks = -(-n // align)
+        chunk_bounds = np.linspace(0, n_chunks, m + 1).astype(np.intp)
+        bounds = np.minimum(chunk_bounds * align, n)
+    else:
+        bounds = np.linspace(0, n, m + 1).astype(np.intp)
     return [np.arange(bounds[i], bounds[i + 1], dtype=np.intp) for i in range(m)]
 
 

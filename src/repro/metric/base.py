@@ -34,15 +34,24 @@ class DistCounter:
 
     Shared between a parent space and all local views derived from it, so a
     whole algorithm run accumulates into one place.
+
+    ``cache_hits`` / ``cache_misses`` record whether a run's space was
+    served from a shared :class:`~repro.store.cache.DistanceCache` (a hit
+    reuses a precomputed matrix; ``evals`` still counts the *logical*
+    distance evaluations, so operation-count records are cache-invariant).
     """
 
     evals: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def add(self, n: int) -> None:
         self.evals += int(n)
 
     def reset(self) -> None:
         self.evals = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
 
 
 def as_index_array(idx, n: int, name: str = "indices") -> np.ndarray:

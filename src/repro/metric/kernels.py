@@ -82,6 +82,31 @@ def sq_dists_block(
         raise MetricError(
             f"dimension mismatch: x has d={x.shape[1]}, y has d={y.shape[1]}"
         )
+    if x.shape[0] == 1 and y.shape[0] > 1:
+        # A single-row GEMM dispatches to a different BLAS microkernel
+        # (gemv-style) whose rounding can differ from the multi-row path
+        # by an ulp.  Duplicate the row so every block shape runs the
+        # same kernel: results are then independent of how callers block
+        # their rows — the store layer's bit-parity contract, down to
+        # chunk-size-1 streams.
+        out = sq_dists_block(
+            np.concatenate([x, x], axis=0),
+            y,
+            None if x_sq is None else np.concatenate([x_sq, x_sq]),
+            y_sq,
+        )
+        return np.ascontiguousarray(out[:1])
+    if y.shape[0] == 1 and x.shape[0] > 1:
+        # Same stability fix on the reference side: a single-column GEMM
+        # must produce the same bits as that column inside a wider block
+        # (a 1-row trailing chunk of a streamed reference set).
+        out = sq_dists_block(
+            x,
+            np.concatenate([y, y], axis=0),
+            x_sq,
+            None if y_sq is None else np.concatenate([y_sq, y_sq]),
+        )
+        return np.ascontiguousarray(out[:, :1])
     if x_sq is None:
         x_sq = _sq_norms(x)
     if y_sq is None:

@@ -11,6 +11,17 @@ so ``solve(space, k, algorithm="mrg", seed=0)`` is bit-identical to
 map keyed by :class:`BatchKey`.  Each run's seed is fixed up-front, so the
 batch is deterministic regardless of executor (sequential vs process
 pool) and scheduling order.
+
+Both entry points accept more than a ready-made space: a coordinate
+array, a :class:`~repro.store.stream.PointStream`, or a ``.npy`` file
+path (solved out-of-core through
+:class:`~repro.store.space.ChunkedMetricSpace`) are coerced via
+:func:`repro.store.as_space`.  ``solve`` additionally supports the
+algorithm-first calling form ``solve("stream", k, data="points.npy")``.
+:func:`solve_many` can thread a shared
+:class:`~repro.store.cache.DistanceCache` through a batch, so repeated
+solves of one small space reuse a single precomputed distance matrix
+with unchanged per-run records.
 """
 
 from __future__ import annotations
@@ -26,12 +37,24 @@ from repro.mapreduce.executor import Executor, SequentialExecutor
 from repro.metric.base import DistCounter, MetricSpace
 from repro.solvers.config import SHARED_KNOBS, UNSET, SolveConfig
 from repro.solvers.registry import SolverSpec, get_solver
+from repro.store.cache import DistanceCache
+from repro.store.space import SpaceLike, as_space
 
 __all__ = ["solve", "solve_many", "BatchKey", "AlgorithmLike"]
 
 #: What :func:`solve_many` accepts per algorithm: a registry name/alias, a
 #: ``(name, options)`` pair, or a resolved :class:`SolverSpec`.
 AlgorithmLike = Union[str, SolverSpec, tuple]
+
+
+def _is_solver_name(name: str) -> bool:
+    """Whether ``name`` resolves in the registry (used to catch the
+    algorithm-first calling form with a forgotten ``data=``)."""
+    try:
+        get_solver(name)
+    except InvalidParameterError:
+        return False
+    return True
 
 
 class BatchKey(NamedTuple):
@@ -45,10 +68,12 @@ class BatchKey(NamedTuple):
 
 
 def solve(
-    space: MetricSpace,
+    space: SpaceLike,
     k: int,
-    algorithm: str = "eim",
+    algorithm: str | None = None,
     *,
+    data: SpaceLike | None = None,
+    chunk_size: int | None = None,
     m: Any = UNSET,
     capacity: Any = UNSET,
     seed: Any = UNSET,
@@ -61,13 +86,24 @@ def solve(
     Parameters
     ----------
     space:
-        Any :class:`~repro.metric.base.MetricSpace`.
+        Any :class:`~repro.metric.base.MetricSpace` — or anything
+        :func:`repro.store.as_space` coerces into one: a coordinate
+        array, a :class:`~repro.store.stream.PointStream`, or a ``.npy``
+        path (solved out-of-core, never materialising ``(n, d)``).
     k:
         Number of centers (positive).
     algorithm:
         Registry name or alias: ``"gon"``, ``"mrg"``, ``"eim"``, ``"hs"``,
-        ``"mrhs"``, ``"exact"`` (case-insensitive; see
-        :func:`repro.solvers.list_solvers`).
+        ``"mrhs"``, ``"stream"``, ``"exact"`` (case-insensitive; see
+        :func:`repro.solvers.list_solvers`).  Default ``"eim"``.
+    data:
+        Alternative input slot enabling the algorithm-first form
+        ``solve("stream", 25, data="points.npy")`` — when given, the
+        first positional argument is read as the algorithm name and
+        ``data`` supplies the points.
+    chunk_size:
+        Chunk rows for file/stream inputs (default: the block byte
+        budget); also forces the chunked adapter for in-memory arrays.
     m, capacity, seed, executor, evaluate:
         Shared knobs, forwarded only when explicitly given so each
         solver's own defaults apply.  Setting a knob the solver does not
@@ -83,7 +119,29 @@ def solve(
         Identical to calling the underlying free function directly with
         the same arguments.
     """
-    spec = get_solver(algorithm)
+    if data is not None:
+        if isinstance(space, str):
+            if algorithm is not None:
+                raise InvalidParameterError(
+                    f"two algorithms given: {space!r} positionally and "
+                    f"algorithm={algorithm!r}; pass one or the other"
+                )
+            algorithm = space
+        elif space is not None:
+            raise InvalidParameterError(
+                "pass the input either as the first argument or as data=, "
+                "not both"
+            )
+        space = as_space(data, chunk_size=chunk_size)
+    else:
+        if isinstance(space, str) and _is_solver_name(space):
+            raise InvalidParameterError(
+                f"{space!r} is an algorithm name, not an input; the "
+                f"algorithm-first form needs the points via data= — "
+                f"solve({space!r}, k, data=\"points.npy\")"
+            )
+        space = as_space(space, chunk_size=chunk_size)
+    spec = get_solver(algorithm if algorithm is not None else "eim")
     config = SolveConfig(
         k=k,
         m=m,
@@ -96,7 +154,13 @@ def solve(
     return spec.fn(space, config.k, **config.kwargs_for(spec))
 
 
-def _run_one(space: MetricSpace, k: int, name: str, kwargs: dict) -> KCenterResult:
+def _run_one(
+    space: MetricSpace,
+    k: int,
+    name: str,
+    kwargs: dict,
+    cache: DistanceCache | None = None,
+) -> KCenterResult:
     """Top-level runner so batch tasks stay picklable for process pools.
 
     The run gets a shallow copy of the space with a *private*
@@ -108,9 +172,20 @@ def _run_one(space: MetricSpace, k: int, name: str, kwargs: dict) -> KCenterResu
     With private counters, every field of every result — including the
     operation counts — is identical on sequential, thread and process
     backends.
+
+    With a :class:`~repro.store.cache.DistanceCache`, runs over a
+    cacheable (small) space are instead served a
+    :class:`~repro.metric.precomputed.PrecomputedSpace` view of one
+    shared distance matrix; the view charges the same evaluation tariff
+    to its private counter, so records stay cache-invariant while the
+    O(n^2) kernel work is paid once per batch, not once per run.
     """
-    task_space = copy.copy(space)
-    task_space.counter = DistCounter()
+    counter = DistCounter()
+    if cache is not None and cache.cacheable(space):
+        task_space = cache.space_for(space, counter)
+    else:
+        task_space = copy.copy(space)
+        task_space.counter = counter
     return get_solver(name).fn(task_space, k, **kwargs)
 
 
@@ -143,12 +218,14 @@ def _normalise_algorithms(
 
 
 def solve_many(
-    space: MetricSpace,
+    space: SpaceLike,
     k: int,
     algorithms: Union[AlgorithmLike, Iterable[AlgorithmLike]] = ("gon", "mrg", "eim"),
     seeds: Sequence[Any] = (None,),
     *,
     executor: Executor | None = None,
+    cache: DistanceCache | None = None,
+    chunk_size: int | None = None,
     m: Any = UNSET,
     capacity: Any = UNSET,
     evaluate: Any = UNSET,
@@ -159,7 +236,9 @@ def solve_many(
     Parameters
     ----------
     space, k:
-        As for :func:`solve`; the same instance is shared by every run.
+        As for :func:`solve` (arrays, streams and ``.npy`` paths are
+        coerced through :func:`repro.store.as_space`); the same instance
+        is shared by every run.
     algorithms:
         Iterable of registry names, ``(name, options)`` pairs, or
         :class:`SolverSpec` objects.  Per-entry options override the
@@ -175,6 +254,16 @@ def solve_many(
         forwarded to the individual solvers — nesting a process pool
         inside each run would oversubscribe the machine; a per-entry
         ``executor`` (see below) overrides this for one entry's runs.
+    cache:
+        Optional shared :class:`~repro.store.cache.DistanceCache`.  Runs
+        over a cacheable (small) space reuse one precomputed distance
+        matrix instead of re-deriving distances per run; results and
+        per-run accounting are unchanged (see the cache's module docs).
+        Pass the same instance across several ``solve_many`` calls on
+        the same space object to share the matrix batch-to-batch.
+    chunk_size:
+        Chunk rows when ``space`` is a file path, stream or array to be
+        solved out-of-core (see :func:`solve`).
     m, capacity, evaluate, **options:
         Batch-wide knobs/options, applied to each solver that accepts
         them and skipped for those that do not (so one batch can mix
@@ -192,6 +281,7 @@ def solve_many(
         option accepted by no entry, or two entries producing the same
         ``(algorithm, seed)`` key.
     """
+    space = as_space(space, chunk_size=chunk_size)
     entries = _normalise_algorithms(algorithms)
     if not isinstance(seeds, (list, tuple, range)):
         seeds = list(seeds)
@@ -249,7 +339,14 @@ def solve_many(
                 )
             keys.append(key)
             tasks.append(
-                partial(_run_one, space, config.k, spec.name, config.kwargs_for(spec))
+                partial(
+                    _run_one,
+                    space,
+                    config.k,
+                    spec.name,
+                    config.kwargs_for(spec),
+                    cache,
+                )
             )
 
     backend = executor if executor is not None else SequentialExecutor()

@@ -1,0 +1,57 @@
+"""Out-of-core dataset layer (system S7): chunked streams, mapped spaces.
+
+The paper's premise is inputs too large for one machine, yet coordinate
+arrays are the one thing the rest of the package assumed to be resident.
+``repro.store`` removes that assumption:
+
+:class:`~repro.store.stream.PointStream`
+    The chunked-data contract — ``(chunk_array, global_offset)`` blocks
+    over a uniform chunk grid with known ``n``/``dim``/``dtype``.
+:class:`~repro.store.stream.ArrayStream` /
+:class:`~repro.store.stream.MemmapStream` /
+:class:`~repro.store.generate.GeneratorStream`
+    In-memory, on-disk (``.npy`` via memmap, one block resident at a
+    time), and never-materialised synthetic backings.
+:class:`~repro.store.space.ChunkedMetricSpace`
+    Full :class:`~repro.metric.base.MetricSpace` over any stream —
+    bit-identical results and identical distance accounting to the
+    in-memory Euclidean space, with bounded memory.
+:class:`~repro.store.cache.DistanceCache`
+    Shared small-space distance matrices for repeated-space batches
+    (``solve_many(..., cache=...)``).
+
+Typical use::
+
+    import repro
+    from repro.store import GeneratorStream
+
+    stream = GeneratorStream("gau", n=2_000_000, seed=0)   # never materialised
+    path = stream.to_npy("gau2m.npy")                       # chunked write
+    result = repro.solve(path, k=25, algorithm="stream")    # out-of-core solve
+"""
+
+from repro.store.cache import DistanceCache
+from repro.store.generate import DEFAULT_GEN_BLOCK, GeneratorStream
+from repro.store.space import ChunkedMetricSpace, as_space
+from repro.store.stream import (
+    ArrayStream,
+    MemmapStream,
+    PointStream,
+    as_stream,
+    default_chunk_rows,
+    write_npy,
+)
+
+__all__ = [
+    "PointStream",
+    "ArrayStream",
+    "MemmapStream",
+    "GeneratorStream",
+    "ChunkedMetricSpace",
+    "DistanceCache",
+    "as_stream",
+    "as_space",
+    "write_npy",
+    "default_chunk_rows",
+    "DEFAULT_GEN_BLOCK",
+]

@@ -1,0 +1,166 @@
+"""Shared distance-matrix cache for repeated small-space solves.
+
+``solve_many`` runs every (algorithm, seed) cell of a batch against the
+*same* space, and experiment grids revisit the same space across many
+cells — each run re-deriving the same distances from scratch.  For spaces
+small enough that the full ``(n, n)`` matrix is affordable,
+:class:`DistanceCache` computes it once and hands every subsequent run a
+:class:`~repro.metric.precomputed.PrecomputedSpace` view over the shared
+matrix.
+
+Accounting is unchanged by design: the precomputed view charges the same
+``|I| * |J|`` scalar-evaluation tariff to its
+:class:`~repro.metric.base.DistCounter` as the coordinate space would, so
+per-run ``dist_evals`` records — the paper's operation counts — are
+identical with and without the cache.  Cache effectiveness is tracked
+separately: the cache's own :attr:`hits`/:attr:`misses` totals, and the
+per-run ``cache_hits``/``cache_misses`` fields on ``DistCounter``.
+
+Numerics: the matrix is built through the space's own ``cross`` kernel
+(then diagonal-zeroed — ``d(i, i) = 0`` exactly, where the GEMM expansion
+can leave round-off dust).  Matrix-served distances agree with on-demand
+evaluation to kernel round-off (identical bits for the block kernels,
+~1e-12 relative for the fused point kernel); selections on non-degenerate
+inputs are unaffected.
+
+Thread-safe: ``solve_many`` fans runs out over thread pools; get-or-build
+is serialised per cache.  Under a *process* pool the cache is pickled
+into each worker — prewarmed entries still hit, but hit counts observed
+in workers do not flow back to the parent.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.metric.base import DistCounter, MetricSpace
+from repro.metric.precomputed import PrecomputedSpace
+
+__all__ = ["DistanceCache"]
+
+
+class DistanceCache:
+    """Capped cache of full distance matrices, keyed on space identity.
+
+    Parameters
+    ----------
+    max_points:
+        Spaces with ``n`` above this are never cached (the matrix is
+        O(n^2); 2048 points = 32 MiB of float64).
+    max_entries:
+        Matrices kept at once; least-recently-used entries are evicted.
+    """
+
+    def __init__(self, max_points: int = 2048, max_entries: int = 8):
+        if max_points <= 0:
+            raise InvalidParameterError(
+                f"max_points must be positive, got {max_points}"
+            )
+        if max_entries <= 0:
+            raise InvalidParameterError(
+                f"max_entries must be positive, got {max_entries}"
+            )
+        self.max_points = int(max_points)
+        self.max_entries = int(max_entries)
+        self.hits = 0
+        self.misses = 0
+        # id(space) -> (space, matrix).  The space itself is pinned in the
+        # entry: a bare id key could be recycled by the allocator after the
+        # space is garbage-collected, silently serving a stale matrix to an
+        # unrelated space that happens to land on the same address.
+        self._entries: OrderedDict[int, tuple[MetricSpace, np.ndarray]] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]  # locks do not pickle (process-pool workers)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    def cacheable(self, space: MetricSpace) -> bool:
+        """Whether ``space`` is small enough to cache."""
+        return 0 < space.n <= self.max_points
+
+    def matrix_for(self, space: MetricSpace) -> np.ndarray:
+        """The full distance matrix of ``space``, computed at most once.
+
+        Keyed on object identity: ``solve_many`` shares one space
+        instance across a batch, which is exactly the reuse this cache
+        targets.  Raises for spaces above the size cap.
+        """
+        return self._matrix_for(space)[0]
+
+    def _matrix_for(self, space: MetricSpace) -> tuple[np.ndarray, bool]:
+        """(matrix, was_hit) — get-or-build, serialised per cache."""
+        if not self.cacheable(space):
+            raise InvalidParameterError(
+                f"space of size {space.n} exceeds the cache cap "
+                f"(max_points={self.max_points})"
+            )
+        key = id(space)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry[0] is space:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return entry[1], True
+            self.misses += 1
+            matrix = self._build(space)
+            self._entries[key] = (space, matrix)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+            return matrix, False
+
+    @staticmethod
+    def _build(space: MetricSpace) -> np.ndarray:
+        # Build through a shadow copy with a throwaway counter: the
+        # one-off n^2 construction must not pollute any run's accounting.
+        shadow = copy.copy(space)
+        shadow.counter = DistCounter()
+        matrix = shadow.cross(None, None)
+        np.fill_diagonal(matrix, 0.0)
+        return matrix
+
+    def space_for(
+        self, space: MetricSpace, counter: DistCounter | None = None
+    ) -> MetricSpace:
+        """A solve-ready view of ``space`` backed by the shared matrix.
+
+        Returns a :class:`PrecomputedSpace` over the cached matrix when
+        ``space`` is cacheable, else ``space`` itself (callers need no
+        size check of their own).  ``counter`` becomes the view's private
+        accounting sink; its ``cache_hits``/``cache_misses`` fields
+        record whether this call reused an existing matrix.
+        """
+        if not self.cacheable(space):
+            return space
+        matrix, hit = self._matrix_for(space)
+        view = PrecomputedSpace(matrix, counter=counter, validate=False)
+        if hit:
+            view.counter.cache_hits += 1
+        else:
+            view.counter.cache_misses += 1
+        return view
+
+    def stats(self) -> dict[str, int]:
+        """Flat snapshot for logs and batch roll-ups."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._entries),
+            "max_points": self.max_points,
+        }
+
+    def clear(self) -> None:
+        """Drop all cached matrices (counters are kept)."""
+        with self._lock:
+            self._entries.clear()

@@ -1,0 +1,276 @@
+"""Chunked synthetic generation: datasets that are never materialised.
+
+:class:`GeneratorStream` produces the paper's synthetic families (UNIF,
+GAU, UNB, plus explicit ``clustered`` mixtures) chunk by chunk, so an
+arbitrarily large dataset can be streamed into a solver or written to disk
+(:meth:`~repro.store.stream.PointStream.to_npy`) with peak memory of one
+block.
+
+Determinism contract
+--------------------
+Points are generated in fixed-size *generation blocks* of ``gen_block``
+rows, each from its own independent child seed
+(:func:`repro.utils.rng.spawn_seeds` — the same SeedSequence discipline
+the simulated machines use).  A user-facing chunk is assembled by slicing
+those blocks, so **the dataset is a pure function of ``(kind, n, params,
+seed, gen_block)`` — bit-identical for every ``chunk_size``** and for
+random vs sequential access.  ``gen_block`` is therefore part of the
+dataset's identity, not a performance knob; leave it at the default
+unless you are deliberately defining a different dataset.
+
+Scale conventions follow :mod:`repro.data.synthetic` (side 100 for UNIF,
+scale 100 / sigma 0.1 for the Gaussian families); see that module's
+docstring for the paper-units discussion.  The streamed families use
+per-block seeds, so they are *statistically* identical to, but not
+bit-identical with, the one-shot generators in ``repro.data.synthetic``
+— a streamed dataset is its own reproducible instance.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any
+
+import numpy as np
+
+from repro.errors import DatasetError, InvalidParameterError
+from repro.store.stream import PointStream
+from repro.utils.rng import SeedLike, spawn_seeds
+
+__all__ = ["GeneratorStream", "DEFAULT_GEN_BLOCK"]
+
+#: Rows per generation block.  Part of a streamed dataset's identity (see
+#: the module docstring); 8192 keeps a block of any sane dimension far
+#: below the chunk byte budget while amortising RNG call overhead.
+DEFAULT_GEN_BLOCK = 8192
+
+
+class _UnifFamily:
+    """UNIF: uniform in a ``dim``-cube of side ``side``."""
+
+    def __init__(self, side: float = 100.0, dim: int = 2):
+        if side <= 0:
+            raise DatasetError(f"side must be positive, got {side}")
+        if dim <= 0:
+            raise DatasetError(f"dim must be positive, got {dim}")
+        self.side = float(side)
+        self.dim = int(dim)
+
+    def prepare(self, rng: np.random.Generator) -> None:
+        del rng  # no shared state to draw
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        return rng.uniform(0.0, self.side, size=(count, self.dim))
+
+    def params(self) -> dict[str, Any]:
+        return {"side": self.side, "dim": self.dim}
+
+
+class _ClusteredFamily:
+    """Gaussian mixture around explicit centers with explicit weights."""
+
+    def __init__(self, centers, weights, sigma: float):
+        self.centers = np.ascontiguousarray(centers, dtype=np.float64)
+        if self.centers.ndim != 2 or not len(self.centers):
+            raise DatasetError(
+                f"centers must be a non-empty 2-D array, got {self.centers.shape}"
+            )
+        w = np.asarray(weights, dtype=np.float64)
+        if w.shape != (len(self.centers),) or (w < 0).any() or w.sum() == 0:
+            raise DatasetError(
+                "weights must be non-negative, one per center, not all zero"
+            )
+        if sigma < 0:
+            raise DatasetError(f"sigma must be >= 0, got {sigma}")
+        self.weights = w / w.sum()
+        self.sigma = float(sigma)
+        self.dim = self.centers.shape[1]
+
+    def prepare(self, rng: np.random.Generator) -> None:
+        del rng  # centers given explicitly
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        labels = rng.choice(len(self.centers), size=count, p=self.weights)
+        return self.centers[labels] + rng.normal(
+            0.0, self.sigma, size=(count, self.dim)
+        )
+
+    def params(self) -> dict[str, Any]:
+        return {"k_prime": len(self.centers), "sigma": self.sigma}
+
+
+class _GauFamily(_ClusteredFamily):
+    """GAU/UNB: ``k_prime`` uniform centers, (un)balanced Gaussian clusters.
+
+    Centers are drawn in :meth:`prepare` from the stream's dedicated
+    shared-state seed, so they are independent of every block's noise.
+    """
+
+    def __init__(
+        self,
+        k_prime: int = 25,
+        dim: int = 3,
+        scale: float = 100.0,
+        sigma: float = 0.1,
+        heavy_fraction: float | None = None,
+    ):
+        if k_prime <= 0:
+            raise DatasetError(f"k_prime must be positive, got {k_prime}")
+        if scale <= 0:
+            raise DatasetError(f"scale must be positive, got {scale}")
+        if heavy_fraction is not None:
+            if k_prime <= 1:
+                raise DatasetError(f"UNB needs k_prime >= 2, got {k_prime}")
+            if not 0.0 < heavy_fraction < 1.0:
+                raise DatasetError(
+                    f"heavy_fraction must be in (0, 1), got {heavy_fraction}"
+                )
+        if sigma < 0:
+            raise DatasetError(f"sigma must be >= 0, got {sigma}")
+        self.k_prime = int(k_prime)
+        self.dim = int(dim)
+        self.scale = float(scale)
+        self.sigma = float(sigma)
+        self.heavy_fraction = heavy_fraction
+        if dim <= 0:
+            raise DatasetError(f"dim must be positive, got {dim}")
+
+    def prepare(self, rng: np.random.Generator) -> None:
+        centers = rng.uniform(0.0, self.scale, size=(self.k_prime, self.dim))
+        if self.heavy_fraction is None:
+            weights = np.ones(self.k_prime)
+        else:
+            weights = np.full(
+                self.k_prime, (1.0 - self.heavy_fraction) / (self.k_prime - 1)
+            )
+            weights[0] = self.heavy_fraction
+        _ClusteredFamily.__init__(self, centers, weights, self.sigma)
+
+    def params(self) -> dict[str, Any]:
+        out = {"k_prime": self.k_prime, "scale": self.scale, "sigma": self.sigma}
+        if self.heavy_fraction is not None:
+            out["heavy_fraction"] = self.heavy_fraction
+        return out
+
+
+def _make_family(kind: str, params: dict[str, Any]):
+    if kind == "unif":
+        return _UnifFamily(**params)
+    if kind == "gau":
+        return _GauFamily(**params)
+    if kind == "unb":
+        params.setdefault("heavy_fraction", 0.5)
+        return _GauFamily(**params)
+    if kind == "clustered":
+        return _ClusteredFamily(**params)
+    raise DatasetError(
+        f"unknown generator family {kind!r}; "
+        "supported: 'unif', 'gau', 'unb', 'clustered'"
+    )
+
+
+class GeneratorStream(PointStream):
+    """Synthetic dataset produced chunk-by-chunk, never materialised.
+
+    Parameters
+    ----------
+    kind:
+        ``"unif"``, ``"gau"``, ``"unb"`` or ``"clustered"`` (explicit
+        ``centers`` / ``weights`` / ``sigma``).
+    n:
+        Total number of points (positive).
+    seed:
+        Root seed.  The whole dataset is a deterministic function of it.
+    chunk_size:
+        Rows per served chunk (presentation only — never affects the
+        generated values; default from the block byte budget).
+    gen_block:
+        Rows per generation block; part of the dataset identity (see the
+        module docstring).
+    **params:
+        Family parameters (``side``/``dim`` for unif; ``k_prime``/
+        ``dim``/``scale``/``sigma`` for gau, plus ``heavy_fraction`` for
+        unb; ``centers``/``weights``/``sigma`` for clustered).
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        n: int,
+        seed: SeedLike = None,
+        chunk_size: int | None = None,
+        gen_block: int = DEFAULT_GEN_BLOCK,
+        **params: Any,
+    ):
+        if n <= 0:
+            raise DatasetError(f"dataset size must be positive, got {n}")
+        if gen_block <= 0:
+            raise InvalidParameterError(
+                f"gen_block must be positive, got {gen_block}"
+            )
+        self.kind = str(kind)
+        self._family = _make_family(self.kind, dict(params))
+        self._gen_block = int(gen_block)
+        n_blocks = -(-int(n) // self._gen_block)
+        # One child seed per generation block, plus seeds[0] for shared
+        # state (cluster centers); independence comes from SeedSequence
+        # spawning, exactly like the simulated machines'.
+        seeds = spawn_seeds(seed, n_blocks + 1)
+        self._family.prepare(np.random.default_rng(seeds[0]))
+        self._block_seeds = seeds[1:]
+        super().__init__(int(n), self._family.dim, chunk_size)
+        # Tiny block cache: sequential chunk reads straddle at most two
+        # generation blocks, so two entries make re-reads free.  Guarded:
+        # the stream may be shared by thread-pool batch runs.
+        self._cache: OrderedDict[int, np.ndarray] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]  # locks do not pickle (process-pool tasks)
+        state["_cache"] = OrderedDict()
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    @property
+    def gen_block(self) -> int:
+        """Rows per generation block (dataset-identity parameter)."""
+        return self._gen_block
+
+    @property
+    def params(self) -> dict[str, Any]:
+        """Family parameters, for provenance records."""
+        return dict(self._family.params())
+
+    def _block(self, b: int) -> np.ndarray:
+        with self._lock:
+            cached = self._cache.get(b)
+            if cached is not None:
+                self._cache.move_to_end(b)
+                return cached
+            start = b * self._gen_block
+            count = min(start + self._gen_block, self._n) - start
+            rng = np.random.default_rng(self._block_seeds[b])
+            block = np.ascontiguousarray(self._family.sample(rng, count))
+            self._cache[b] = block
+            while len(self._cache) > 2:
+                self._cache.popitem(last=False)
+            return block
+
+    def read_chunk(self, i: int) -> np.ndarray:
+        start, stop = self.chunk_span(i)
+        b_first = start // self._gen_block
+        b_last = (stop - 1) // self._gen_block
+        parts = []
+        for b in range(b_first, b_last + 1):
+            b_start = b * self._gen_block
+            lo = max(start, b_start) - b_start
+            hi = min(stop, b_start + self._gen_block) - b_start
+            parts.append(self._block(b)[lo:hi])
+        if len(parts) == 1:
+            return parts[0]
+        return np.concatenate(parts, axis=0)

@@ -11,7 +11,12 @@ from __future__ import annotations
 
 from typing import Iterator
 
-__all__ = ["chunk_slices", "resolve_chunk_size", "DEFAULT_BLOCK_BYTES"]
+__all__ = [
+    "chunk_bounds",
+    "chunk_slices",
+    "resolve_chunk_size",
+    "DEFAULT_BLOCK_BYTES",
+]
 
 #: Default byte budget for one temporary distance block. 32 MiB keeps blocks
 #: comfortably inside last-level cache pressure limits on commodity CPUs
@@ -19,17 +24,29 @@ __all__ = ["chunk_slices", "resolve_chunk_size", "DEFAULT_BLOCK_BYTES"]
 DEFAULT_BLOCK_BYTES = 32 * 2**20
 
 
-def chunk_slices(total: int, chunk: int) -> Iterator[slice]:
-    """Yield contiguous slices covering ``range(total)`` in steps of ``chunk``.
+def chunk_bounds(total: int, chunk: int) -> Iterator[tuple[int, int]]:
+    """Yield ``(start, stop)`` pairs covering ``range(total)`` in steps of ``chunk``.
 
-    The final slice may be shorter.  ``total == 0`` yields nothing.
+    The final pair may span fewer than ``chunk`` elements.  ``total == 0``
+    yields nothing.  This is the offset-based twin of :func:`chunk_slices`
+    for consumers that need plain integers (the :mod:`repro.store` layer
+    keys chunks and global offsets on them) rather than slice objects.
     """
     if total < 0:
         raise ValueError(f"total must be >= 0, got {total}")
     if chunk <= 0:
         raise ValueError(f"chunk must be positive, got {chunk}")
     for start in range(0, total, chunk):
-        yield slice(start, min(start + chunk, total))
+        yield start, min(start + chunk, total)
+
+
+def chunk_slices(total: int, chunk: int) -> Iterator[slice]:
+    """Yield contiguous slices covering ``range(total)`` in steps of ``chunk``.
+
+    The final slice may be shorter.  ``total == 0`` yields nothing.
+    """
+    for start, stop in chunk_bounds(total, chunk):
+        yield slice(start, stop)
 
 
 def resolve_chunk_size(

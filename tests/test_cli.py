@@ -143,3 +143,25 @@ class TestSolveCommand:
              "--opt", "phi=abc"]
         ) == 2
         assert "bad option value" in capsys.readouterr().err
+
+
+class TestSolveDataFile:
+    def test_solve_from_npy_file(self, capsys, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "pts.npy"
+        np.save(path, np.random.default_rng(0).uniform(0, 100, size=(3000, 3)))
+        assert main([
+            "solve", "stream", "--k", "5",
+            "--data", str(path), "--chunk-size", "256", "--quiet",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "STREAM" in out and "pts.npy" in out and "n=3000" in out
+
+    def test_missing_data_file_is_reported(self, capsys, tmp_path):
+        assert main([
+            "solve", "stream", "--k", "5", "--data",
+            str(tmp_path / "nope.npy"), "--quiet",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "no such dataset file" in err

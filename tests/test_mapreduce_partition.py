@@ -104,3 +104,47 @@ class TestHashPartition:
         sizes = np.array([len(p) for p in parts])
         assert sizes.max() <= 1000  # the strict cap
         assert sizes.min() >= 800  # hash balance keeps loads near n/m
+
+
+class TestAlignedBlockPartition:
+    """block_partition(align=...): chunk-aligned shards for the store layer."""
+
+    @pytest.mark.parametrize("n,m,align", [(300, 4, 50), (257, 3, 64), (100, 5, 7)])
+    def test_cover_disjoint_aligned(self, n, m, align):
+        parts = block_partition(n, m, align=align)
+        assert len(parts) == m
+        joined = np.concatenate(parts)
+        assert np.array_equal(joined, np.arange(n))
+        for p in parts:
+            if p.size:
+                assert p[0] % align == 0, "machine boundary not chunk-aligned"
+                assert p[-1] == n - 1 or (p[-1] + 1) % align == 0
+
+    def test_chunk_granular_balance(self):
+        parts = block_partition(600, 4, align=50)
+        sizes = [p.size for p in parts]
+        # 12 chunks over 4 machines: exactly 3 chunks each
+        assert sizes == [150, 150, 150, 150]
+
+    def test_relaxed_cap_never_exceeds_one_extra_chunk(self):
+        for n, m, align in ((1000, 7, 64), (999, 3, 100), (64, 9, 16)):
+            parts = block_partition(n, m, align=align)
+            n_chunks = -(-n // align)
+            cap = align * -(-n_chunks // m)
+            assert all(p.size <= cap for p in parts)
+
+    def test_fewer_chunks_than_machines_leaves_empty_shards(self):
+        parts = block_partition(10, 4, align=8)
+        sizes = [p.size for p in parts]
+        assert sum(sizes) == 10
+        assert 0 in sizes
+
+    def test_align_none_unchanged(self):
+        assert all(
+            np.array_equal(a, b)
+            for a, b in zip(block_partition(100, 3), block_partition(100, 3, align=None))
+        )
+
+    def test_invalid_align(self):
+        with pytest.raises(InvalidParameterError):
+            block_partition(10, 2, align=0)

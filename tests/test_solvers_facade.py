@@ -202,3 +202,70 @@ class TestTopLevelExports:
     def test_registry_reexported(self):
         assert repro.get_solver("gon").name == "gon"
         assert [spec.name for spec in repro.list_solvers()] == repro.solver_names()
+
+
+class TestDataCoercion:
+    """solve()/solve_many() accept arrays, streams and .npy paths."""
+
+    @pytest.fixture
+    def pts(self):
+        return np.random.default_rng(12).uniform(0.0, 100.0, size=(250, 3))
+
+    def test_array_input(self, pts):
+        want = solve(EuclideanSpace(pts), 5, algorithm="gon", seed=0)
+        got = solve(pts, 5, algorithm="gon", seed=0)
+        assert np.array_equal(want.centers, got.centers)
+        assert want.radius == got.radius
+
+    def test_npy_path_is_solved_out_of_core(self, pts, tmp_path):
+        from repro.store import ChunkedMetricSpace
+
+        path = tmp_path / "pts.npy"
+        np.save(path, pts)
+        want = solve(EuclideanSpace(pts), 5, algorithm="stream", seed=0)
+        got = solve(str(path), 5, algorithm="stream", seed=0, chunk_size=64)
+        assert np.array_equal(want.centers, got.centers)
+        assert want.radius == got.radius
+        # and the coercion really picks the chunked adapter
+        from repro.store import as_space
+
+        assert isinstance(as_space(str(path)), ChunkedMetricSpace)
+
+    def test_algorithm_first_form(self, pts, tmp_path):
+        """ISSUE acceptance: repro.solve("stream", ..., data=path)."""
+        path = tmp_path / "pts.npy"
+        np.save(path, pts)
+        want = solve(EuclideanSpace(pts), 6, algorithm="stream", seed=1)
+        got = repro.solve("stream", 6, data=str(path), seed=1)
+        assert np.array_equal(want.centers, got.centers)
+        assert want.radius == got.radius
+
+    def test_stream_input(self, pts):
+        from repro.store import ArrayStream
+
+        want = solve(EuclideanSpace(pts), 4, algorithm="stream", seed=0)
+        got = solve(ArrayStream(pts, chunk_size=33), 4, algorithm="stream", seed=0)
+        assert np.array_equal(want.centers, got.centers)
+
+    def test_space_and_data_together_rejected(self, pts):
+        with pytest.raises(InvalidParameterError):
+            solve(EuclideanSpace(pts), 4, data=pts)
+
+    def test_solve_many_accepts_path(self, pts, tmp_path):
+        path = tmp_path / "pts.npy"
+        np.save(path, pts)
+        want = solve_many(EuclideanSpace(pts), 4, algorithms=("stream",), seeds=(0,))
+        got = solve_many(str(path), 4, algorithms=("stream",), seeds=(0,), chunk_size=50)
+        key = BatchKey("stream", 0)
+        assert np.array_equal(want[key].centers, got[key].centers)
+        assert want[key].radius == got[key].radius
+
+    def test_conflicting_algorithms_rejected(self, pts, tmp_path):
+        path = tmp_path / "pts.npy"
+        np.save(path, pts)
+        with pytest.raises(InvalidParameterError, match="two algorithms"):
+            solve("gon", 5, algorithm="stream", data=str(path))
+
+    def test_forgotten_data_kwarg_is_diagnosed(self):
+        with pytest.raises(InvalidParameterError, match="data="):
+            solve("stream", 5)

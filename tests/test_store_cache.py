@@ -1,0 +1,181 @@
+"""DistanceCache: shared matrices for repeated-space batches.
+
+The contract under test (ISSUE acceptance): a repeated-space
+``solve_many`` batch with a cache shows hits while producing **unchanged
+records** — identical centers and distance-evaluation counts, radii equal
+to kernel round-off (bit-equal for the block-kernel solvers).
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import InvalidParameterError
+from repro.mapreduce.executor import ThreadPoolExecutorBackend
+from repro.metric import EuclideanSpace, PrecomputedSpace
+from repro.metric.base import DistCounter
+from repro.store import DistanceCache
+
+
+@pytest.fixture
+def space():
+    pts = np.random.default_rng(8).uniform(0.0, 100.0, size=(350, 3))
+    return EuclideanSpace(pts)
+
+
+class TestCacheMechanics:
+    def test_hit_miss_accounting(self, space):
+        cache = DistanceCache(max_points=512)
+        m1 = cache.matrix_for(space)
+        m2 = cache.matrix_for(space)
+        assert m1 is m2
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.stats()["entries"] == 1
+
+    def test_matrix_matches_space_distances(self, space):
+        cache = DistanceCache(max_points=512)
+        matrix = cache.matrix_for(space)
+        idx = np.arange(25, dtype=np.intp)
+        want = space.cross(idx, idx)
+        got = matrix[np.ix_(idx, idx)]
+        # atol covers the self-distance dust of the on-demand GEMM
+        # expansion (the cache zeroes the diagonal exactly instead)
+        np.testing.assert_allclose(want, got, atol=1e-5)
+        assert np.all(np.diag(matrix) == 0.0)
+
+    def test_space_for_wraps_and_counts(self, space):
+        cache = DistanceCache(max_points=512)
+        c1, c2 = DistCounter(), DistCounter()
+        v1 = cache.space_for(space, c1)
+        v2 = cache.space_for(space, c2)
+        assert isinstance(v1, PrecomputedSpace) and isinstance(v2, PrecomputedSpace)
+        assert (c1.cache_misses, c1.cache_hits) == (1, 0)
+        assert (c2.cache_misses, c2.cache_hits) == (0, 1)
+
+    def test_large_space_passes_through(self, space):
+        cache = DistanceCache(max_points=100)
+        assert not cache.cacheable(space)
+        assert cache.space_for(space, DistCounter()) is space
+        with pytest.raises(InvalidParameterError):
+            cache.matrix_for(space)
+
+    def test_eviction_cap(self):
+        cache = DistanceCache(max_points=64, max_entries=2)
+        spaces = [
+            EuclideanSpace(np.random.default_rng(i).normal(size=(20, 2)))
+            for i in range(3)
+        ]
+        for s in spaces:
+            cache.matrix_for(s)
+        assert cache.stats()["entries"] == 2
+        cache.matrix_for(spaces[0])  # evicted -> rebuilt
+        assert cache.misses == 4
+
+    def test_construction_does_not_pollute_accounting(self, space):
+        cache = DistanceCache(max_points=512)
+        cache.matrix_for(space)
+        assert space.counter.evals == 0
+
+    def test_counter_reset_clears_cache_fields(self):
+        c = DistCounter(evals=5, cache_hits=2, cache_misses=1)
+        c.reset()
+        assert (c.evals, c.cache_hits, c.cache_misses) == (0, 0, 0)
+
+    def test_invalid_params(self):
+        with pytest.raises(InvalidParameterError):
+            DistanceCache(max_points=0)
+        with pytest.raises(InvalidParameterError):
+            DistanceCache(max_entries=0)
+
+
+class TestSolveManyWithCache:
+    ALGOS = ("stream", "gon", "hs")
+
+    def test_repeated_space_batch_hits_with_unchanged_records(self, space):
+        """ISSUE acceptance: >0 hits, records unchanged."""
+        cache = DistanceCache(max_points=512)
+        plain = repro.solve_many(space, 7, algorithms=self.ALGOS, seeds=(0, 1))
+        cached = repro.solve_many(
+            space, 7, algorithms=self.ALGOS, seeds=(0, 1), cache=cache
+        )
+        assert cache.hits > 0
+        assert plain.keys() == cached.keys()
+        for key in plain:
+            assert np.array_equal(plain[key].centers, cached[key].centers), key
+            # block-kernel distances are reused bit-for-bit; the fused
+            # point kernel (gon's traversal) agrees to kernel round-off
+            assert plain[key].radius == pytest.approx(
+                cached[key].radius, rel=1e-9, abs=1e-9
+            ), key
+        # six runs, one matrix build
+        assert (cache.hits, cache.misses) == (5, 1)
+
+    def test_block_solver_records_bit_identical(self, space):
+        cache = DistanceCache(max_points=512)
+        plain = repro.solve_many(space, 7, algorithms=("stream",), seeds=(0, 1, 2))
+        cached = repro.solve_many(
+            space, 7, algorithms=("stream",), seeds=(0, 1, 2), cache=cache
+        )
+        for key in plain:
+            assert np.array_equal(plain[key].centers, cached[key].centers)
+            assert plain[key].radius == cached[key].radius
+            assert plain[key].extra["threshold"] == cached[key].extra["threshold"]
+
+    def test_cache_shared_across_batches(self, space):
+        cache = DistanceCache(max_points=512)
+        repro.solve_many(space, 5, algorithms=("stream",), seeds=(0,), cache=cache)
+        repro.solve_many(space, 9, algorithms=("gon",), seeds=(1,), cache=cache)
+        assert cache.misses == 1 and cache.hits == 1
+
+    def test_thread_backend_counts_consistent(self, space):
+        cache = DistanceCache(max_points=512)
+        results = repro.solve_many(
+            space,
+            6,
+            algorithms=("stream", "gon"),
+            seeds=range(3),
+            cache=cache,
+            executor=ThreadPoolExecutorBackend(max_workers=4),
+        )
+        assert len(results) == 6
+        assert cache.hits + cache.misses == 6
+        assert cache.misses == 1
+
+    def test_mapreduce_solver_unaffected_by_uncacheable_space(self, space):
+        # mrg on a space above the cap: cache must be a transparent no-op
+        cache = DistanceCache(max_points=10)
+        plain = repro.solve_many(space, 5, algorithms=("mrg",), seeds=(0,), m=4)
+        cached = repro.solve_many(
+            space, 5, algorithms=("mrg",), seeds=(0,), m=4, cache=cache
+        )
+        key = next(iter(plain))
+        assert np.array_equal(plain[key].centers, cached[key].centers)
+        assert plain[key].radius == cached[key].radius
+        assert plain[key].stats.dist_evals == cached[key].stats.dist_evals
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_pickles_for_process_pools(self, space):
+        import pickle
+
+        cache = DistanceCache(max_points=512)
+        cache.matrix_for(space)
+        clone = pickle.loads(pickle.dumps(cache))
+        assert clone.stats()["entries"] == 1
+        assert clone.misses == 1
+
+
+class TestStaleIdentityGuard:
+    def test_recycled_id_never_serves_stale_matrix(self):
+        """Entries pin the space object: a different space landing on a
+        recycled id must rebuild, not reuse."""
+        pts = np.random.default_rng(1).normal(size=(60, 2))
+        cache = DistanceCache(max_points=128)
+        s1 = EuclideanSpace(pts[:30])
+        cache.matrix_for(s1)
+        s2 = EuclideanSpace(pts[30:])
+        # simulate CPython recycling s1's address for s2
+        cache._entries[id(s2)] = cache._entries.pop(id(s1))
+        matrix = cache.matrix_for(s2)
+        assert cache.misses == 2
+        assert matrix.shape == (30, 30)
+        assert matrix[0, 1] == pytest.approx(s2.dist(0, 1), abs=1e-8)

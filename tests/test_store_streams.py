@@ -1,0 +1,213 @@
+"""Unit tests for the chunked point streams in repro.store."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_stream
+from repro.errors import DatasetError, InvalidParameterError
+from repro.store import (
+    ArrayStream,
+    GeneratorStream,
+    MemmapStream,
+    as_stream,
+    default_chunk_rows,
+    write_npy,
+)
+
+
+def materialise(stream):
+    """Reference materialisation: concatenate every yielded chunk."""
+    blocks = [block for block, _ in stream]
+    return np.concatenate(blocks, axis=0) if blocks else np.empty((0, stream.dim))
+
+
+@pytest.fixture
+def points():
+    return np.random.default_rng(0).normal(size=(157, 3)) * 10
+
+
+class TestArrayStream:
+    def test_grid_geometry(self, points):
+        s = ArrayStream(points, chunk_size=50)
+        assert (s.n, s.dim, s.n_chunks) == (157, 3, 4)
+        assert s.chunk_span(0) == (0, 50)
+        assert s.chunk_span(3) == (150, 157)
+        with pytest.raises(InvalidParameterError):
+            s.chunk_span(4)
+
+    def test_iteration_covers_with_offsets(self, points):
+        s = ArrayStream(points, chunk_size=50)
+        offsets = []
+        for block, offset in s:
+            offsets.append(offset)
+            assert np.array_equal(block, points[offset : offset + block.shape[0]])
+        assert offsets == [0, 50, 100, 150]
+        assert np.array_equal(materialise(s), points)
+
+    @pytest.mark.parametrize("chunk_size", [1, 7, 157, 1000])
+    def test_edge_chunk_sizes(self, points, chunk_size):
+        s = ArrayStream(points, chunk_size=chunk_size)
+        assert np.array_equal(materialise(s), points)
+
+    def test_default_chunk_size_from_budget(self, points):
+        s = ArrayStream(points)
+        assert s.chunk_size == default_chunk_rows(3)
+
+    def test_invalid_chunk_size(self, points):
+        with pytest.raises(InvalidParameterError):
+            ArrayStream(points, chunk_size=0)
+
+    def test_chunks_are_views(self, points):
+        s = ArrayStream(points, chunk_size=64)
+        assert s.read_chunk(0).base is s.points
+
+
+class TestMemmapStream:
+    def test_round_trip(self, points, tmp_path):
+        path = tmp_path / "pts.npy"
+        np.save(path, points)
+        s = MemmapStream(path, chunk_size=40)
+        assert (s.n, s.dim) == points.shape
+        assert s.file_dtype == np.float64
+        assert np.array_equal(materialise(s), points)
+
+    def test_write_npy_export(self, points, tmp_path):
+        path = write_npy(ArrayStream(points, chunk_size=13), tmp_path / "out.npy")
+        assert np.array_equal(np.load(path), points)
+
+    def test_non_float_dtypes_served_as_float64(self, tmp_path):
+        ints = np.arange(12, dtype=np.int32).reshape(6, 2)
+        path = tmp_path / "ints.npy"
+        np.save(path, ints)
+        s = MemmapStream(path, chunk_size=4)
+        block = s.read_chunk(0)
+        assert block.dtype == np.float64
+        assert np.array_equal(materialise(s), ints.astype(np.float64))
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            MemmapStream(tmp_path / "nope.npy")
+
+    def test_wrong_ndim_rejected(self, tmp_path):
+        path = tmp_path / "flat.npy"
+        np.save(path, np.arange(10.0))
+        with pytest.raises(DatasetError):
+            MemmapStream(path)
+
+    def test_pickles_by_path(self, points, tmp_path):
+        import pickle
+
+        path = tmp_path / "pts.npy"
+        np.save(path, points)
+        s = MemmapStream(path, chunk_size=40)
+        clone = pickle.loads(pickle.dumps(s))
+        assert np.array_equal(materialise(clone), points)
+
+
+class TestGeneratorStream:
+    @pytest.mark.parametrize("kind", ["unif", "gau", "unb"])
+    def test_chunk_size_invariance(self, kind):
+        """The generated dataset is bit-identical for every chunk size.
+
+        gen_block=50 makes chunks straddle generation blocks, so the
+        assembly path (not just a single block slice) is what's invariant.
+        """
+        ref = materialise(
+            GeneratorStream(kind, 257, seed=11, chunk_size=1, gen_block=50)
+        )
+        for chunk_size in (3, 64, 257, 400):
+            got = materialise(
+                GeneratorStream(kind, 257, seed=11, chunk_size=chunk_size, gen_block=50)
+            )
+            assert np.array_equal(ref, got), chunk_size
+
+    def test_random_access_matches_sequential(self):
+        s = GeneratorStream("gau", 500, seed=3, chunk_size=37, gen_block=64)
+        want = materialise(s)
+        for i in reversed(range(s.n_chunks)):  # access out of order
+            start, stop = s.chunk_span(i)
+            assert np.array_equal(s.read_chunk(i), want[start:stop])
+
+    def test_seed_changes_data(self):
+        a = materialise(GeneratorStream("unif", 100, seed=1, chunk_size=32))
+        b = materialise(GeneratorStream("unif", 100, seed=2, chunk_size=32))
+        assert not np.array_equal(a, b)
+
+    def test_gen_block_is_dataset_identity(self):
+        a = materialise(GeneratorStream("unif", 100, seed=1, chunk_size=32))
+        b = materialise(
+            GeneratorStream("unif", 100, seed=1, chunk_size=32, gen_block=16)
+        )
+        assert not np.array_equal(a, b)
+
+    def test_to_npy_streams_identically(self, tmp_path):
+        s = GeneratorStream("unb", 300, seed=9, chunk_size=77, k_prime=4)
+        path = s.to_npy(tmp_path / "unb.npy")
+        assert np.array_equal(np.load(path), materialise(s))
+
+    def test_clustered_family_explicit_centers(self):
+        centers = np.array([[0.0, 0.0], [100.0, 100.0]])
+        s = GeneratorStream(
+            "clustered", 400, seed=5, chunk_size=100,
+            centers=centers, weights=[1.0, 1.0], sigma=0.5,
+        )
+        pts = materialise(s)
+        # every point hugs one of the two centers
+        d = np.minimum(
+            np.linalg.norm(pts - centers[0], axis=1),
+            np.linalg.norm(pts - centers[1], axis=1),
+        )
+        assert d.max() < 10.0
+
+    def test_unif_stays_in_cube(self):
+        pts = materialise(GeneratorStream("unif", 1000, seed=0, side=50.0, dim=4))
+        assert pts.shape == (1000, 4)
+        assert pts.min() >= 0.0 and pts.max() <= 50.0
+
+    def test_unb_is_unbalanced(self):
+        s = GeneratorStream("unb", 4000, seed=0, k_prime=10, heavy_fraction=0.5)
+        assert s.params["heavy_fraction"] == 0.5
+
+    def test_invalid_family_and_params(self):
+        with pytest.raises(DatasetError):
+            GeneratorStream("mystery", 100)
+        with pytest.raises(DatasetError):
+            GeneratorStream("unif", 0)
+        with pytest.raises(DatasetError):
+            GeneratorStream("unb", 100, k_prime=1)
+        with pytest.raises(DatasetError):
+            GeneratorStream("unif", 100, side=-1.0)
+
+
+class TestAsStream:
+    def test_passthrough_and_coercion(self, points, tmp_path):
+        s = ArrayStream(points, chunk_size=10)
+        assert as_stream(s) is s
+        assert isinstance(as_stream(points), ArrayStream)
+        path = tmp_path / "pts.npy"
+        np.save(path, points)
+        assert isinstance(as_stream(str(path)), MemmapStream)
+        assert isinstance(as_stream(path), MemmapStream)
+
+    def test_no_implicit_rechunk(self, points):
+        s = ArrayStream(points, chunk_size=10)
+        assert as_stream(s, chunk_size=10) is s
+        with pytest.raises(InvalidParameterError):
+            as_stream(s, chunk_size=20)
+
+
+class TestMakeStream:
+    def test_registry_families(self):
+        s = make_stream("gau", 200, seed=1, chunk_size=64, k_prime=3)
+        assert isinstance(s, GeneratorStream)
+        assert (s.n, s.dim) == (200, 3)
+
+    def test_non_streamable_rejected(self):
+        with pytest.raises(DatasetError):
+            make_stream("poker", 100)
+
+    def test_npz_archive_rejected(self, tmp_path):
+        path = tmp_path / "arc.npz"
+        np.savez(path, a=np.zeros((4, 2)))
+        with pytest.raises(DatasetError, match="archive"):
+            MemmapStream(path)

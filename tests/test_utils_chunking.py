@@ -67,3 +67,39 @@ class TestResolveChunkSize:
         assert rows >= 16
         # Either within budget, or pinned at the minimum.
         assert rows * other * 8 <= budget or rows == 16
+
+
+class TestChunkBounds:
+    def test_matches_chunk_slices(self):
+        from repro.utils.chunking import chunk_bounds
+
+        for total, chunk in ((10, 3), (0, 4), (7, 7), (5, 100)):
+            bounds = list(chunk_bounds(total, chunk))
+            slices = list(chunk_slices(total, chunk))
+            assert bounds == [(sl.start, sl.stop) for sl in slices]
+
+    def test_plain_ints(self):
+        from repro.utils.chunking import chunk_bounds
+
+        bounds = list(chunk_bounds(7, 3))
+        assert bounds == [(0, 3), (3, 6), (6, 7)]
+        assert all(isinstance(b, int) for pair in bounds for b in pair)
+
+    def test_invalid_args(self):
+        from repro.utils.chunking import chunk_bounds
+
+        with pytest.raises(ValueError):
+            list(chunk_bounds(-1, 2))
+        with pytest.raises(ValueError):
+            list(chunk_bounds(5, 0))
+
+    @given(total=st.integers(0, 5000), chunk=st.integers(1, 700))
+    def test_property_cover_contiguous(self, total, chunk):
+        from repro.utils.chunking import chunk_bounds
+
+        covered = 0
+        for start, stop in chunk_bounds(total, chunk):
+            assert start == covered
+            assert 0 < stop - start <= chunk
+            covered = stop
+        assert covered == total
