@@ -11,7 +11,10 @@ interpreter baseline) for three backings of the same dataset:
 * ``in-memory`` — ``EuclideanSpace`` over the loaded array (baseline);
 * ``memmap`` — ``ChunkedMetricSpace`` over ``MemmapStream``;
 * ``generator`` — ``ChunkedMetricSpace`` over the ``GeneratorStream``
-  that defined the dataset (no file at all, chunks regenerated on read).
+  that defined the dataset (no file at all, chunks regenerated on read);
+* ``sharded`` — ``ChunkedMetricSpace`` over a ``ShardedStream``
+  (directory-of-``.npy`` chunk groups, the MapReduce input layout;
+  sharding is layout, not identity, so the bits must not move).
 
 Shape claims asserted:
 
@@ -31,7 +34,7 @@ import numpy as np
 from benchmarks.conftest import write_artifact
 from repro.core.streaming import stream_kcenter
 from repro.metric.euclidean import EuclideanSpace
-from repro.store import ChunkedMetricSpace, GeneratorStream, MemmapStream
+from repro.store import ChunkedMetricSpace, GeneratorStream, MemmapStream, write_shards
 
 K = 10
 N = 200_000
@@ -62,12 +65,14 @@ def test_outofcore_vs_inmemory(artifact_dir, tmp_path_factory):
         "gau", N, seed=3, chunk_size=CHUNK, gen_block=CHUNK, k_prime=10
     )
     path = gen.to_npy(tmp / "gau.npy")
+    sharded = write_shards(gen, tmp / "shards", shards=4)
     full_bytes = N * DIM * 8
 
     runs = {
         "in-memory": lambda: EuclideanSpace(np.load(path)),
         "memmap": lambda: ChunkedMetricSpace(MemmapStream(path, chunk_size=CHUNK)),
         "generator": lambda: ChunkedMetricSpace(gen),
+        "sharded": lambda: ChunkedMetricSpace(sharded),
     }
     rows, results, peaks = [], {}, {}
     for name, make_space in runs.items():
@@ -78,7 +83,7 @@ def test_outofcore_vs_inmemory(artifact_dir, tmp_path_factory):
 
     base_result, base_evals = results["in-memory"]
     assert peaks["in-memory"] > full_bytes  # baseline really held the array
-    for name in ("memmap", "generator"):
+    for name in ("memmap", "generator", "sharded"):
         result, evals = results[name]
         # Same bits as in-memory: centers, radius, operation counts.
         assert np.array_equal(result.centers, base_result.centers), name

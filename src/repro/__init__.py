@@ -57,6 +57,7 @@ from repro.data import (
     gau,
     kddcup99,
     make_dataset,
+    make_sharded,
     make_stream,
     poker_hand,
     unb,
@@ -144,6 +145,7 @@ __all__ = [
     # data
     "Dataset",
     "make_dataset",
+    "make_sharded",
     "make_stream",
     "unif",
     "gau",

@@ -10,6 +10,8 @@ Examples
     repro-kcenter solve mrg --k 25 --n 100000 --dataset unif --m 50
     repro-kcenter solve eim --k 10 --opt phi=4 --opt eps=0.2
     repro-kcenter solve stream --k 25 --data points.npy
+    repro-kcenter solve mr_hs --k 25 --data shards/
+    repro-kcenter solve mrg --k 25 --n 200000 --shards 8
     repro-kcenter run table3
     repro-kcenter run figure2a --scale paper
     repro-kcenter run table6 --m 50 --seed 7
@@ -21,7 +23,11 @@ downstream plugins — is immediately runnable and shown by ``solve list``.
 ``--data points.npy`` solves a file instead of a generated dataset: the
 file is memory-mapped and consumed chunk by chunk through
 :mod:`repro.store`, so inputs larger than RAM work (pair with the
-``stream`` solver, whose working state is O(k)).
+``stream`` solver, whose working state is O(k)).  ``--data shards/``
+solves a sharded directory, and ``--shards N`` shards a generated
+dataset (or a ``.npy`` file) on the fly — the MapReduce solvers then run
+each reducer against a per-shard view, never gathering the full
+coordinate array.
 ``run`` reproduces a paper experiment; its output is the paper-layout
 table (or ASCII chart) plus, where the paper published numbers, a
 side-by-side comparison and the qualitative shape checks from
@@ -211,37 +217,80 @@ def _run_solve_command(args: argparse.Namespace) -> int:
             raise InvalidParameterError(
                 f"{key!r} is a shared knob, not a solver option; {hint}"
             )
-    if args.data is not None:
-        from repro.store import MemmapStream, ChunkedMetricSpace
+    import contextlib
+    import tempfile
 
-        stream = MemmapStream(args.data, chunk_size=args.chunk_size)
-        space = ChunkedMetricSpace(stream)
-        source = args.data
-        n, dim = stream.n, stream.dim
-        if not args.quiet:
-            _progress(
-                f"{args.data}: n={n}, dim={dim} (out-of-core, "
-                f"chunk={stream.chunk_size})"
+    from repro.store import ChunkedMetricSpace, ShardedStream, as_stream, write_shards
+
+    def _shard_tmp(stack):
+        # The stream keeps lazy memmaps over the shard files until exit,
+        # so cleanup must tolerate still-mapped files (Windows).
+        return stack.enter_context(
+            tempfile.TemporaryDirectory(
+                prefix="repro-shards-", ignore_cleanup_errors=True
             )
-    else:
-        data_seed = args.data_seed if args.data_seed is not None else args.seed
-        dataset = make_dataset(args.dataset, args.n, seed=data_seed)
-        space = dataset.space()
-        source, n = args.dataset, dataset.n
+        )
+
+    with contextlib.ExitStack() as stack:
+        if args.data is not None:
+            stream = as_stream(args.data, chunk_size=args.chunk_size)
+            source = args.data
+            if args.shards is not None:
+                if isinstance(stream, ShardedStream):
+                    raise InvalidParameterError(
+                        f"{args.data} is already a sharded directory; "
+                        "--shards only applies when sharding a .npy file "
+                        "or a generated dataset"
+                    )
+                stream = write_shards(stream, _shard_tmp(stack), args.shards)
+                source = f"{args.data} [{args.shards} shards]"
+            space = ChunkedMetricSpace(stream)
+            n, dim = stream.n, stream.dim
+            if not args.quiet:
+                layout = (
+                    f"{stream.n_shards} shards"
+                    if isinstance(stream, ShardedStream)
+                    else "memmap"
+                )
+                _progress(
+                    f"{source}: n={n}, dim={dim} (out-of-core, {layout}, "
+                    f"chunk={stream.chunk_size})"
+                )
+        elif args.shards is not None:
+            from repro.data.registry import make_sharded
+
+            data_seed = args.data_seed if args.data_seed is not None else args.seed
+            stream = make_sharded(
+                args.dataset, args.n, _shard_tmp(stack), args.shards,
+                seed=data_seed, chunk_size=args.chunk_size,
+            )
+            space = ChunkedMetricSpace(stream)
+            source, n = f"{args.dataset} [{args.shards} shards]", stream.n
+            if not args.quiet:
+                _progress(
+                    f"{args.dataset}: n={stream.n}, dim={stream.dim} "
+                    f"(sharded out-of-core, {stream.n_shards} shards, "
+                    f"chunk={stream.chunk_size})"
+                )
+        else:
+            data_seed = args.data_seed if args.data_seed is not None else args.seed
+            dataset = make_dataset(args.dataset, args.n, seed=data_seed)
+            space = dataset.space()
+            source, n = args.dataset, dataset.n
+            if not args.quiet:
+                _progress(f"{args.dataset}: n={dataset.n}, dim={dataset.dim}")
         if not args.quiet:
-            _progress(f"{args.dataset}: n={dataset.n}, dim={dataset.dim}")
-    if not args.quiet:
-        _progress(f"solving with {spec.name} (kind={spec.kind}), k={args.k}")
-    result = solve(
-        space,
-        args.k,
-        algorithm=spec.name,
-        seed=args.seed,
-        m=args.m if args.m is not None else UNSET,
-        capacity=args.capacity if args.capacity is not None else UNSET,
-        evaluate=False if args.no_evaluate else UNSET,
-        **dict(args.opt),
-    )
+            _progress(f"solving with {spec.name} (kind={spec.kind}), k={args.k}")
+        result = solve(
+            space,
+            args.k,
+            algorithm=spec.name,
+            seed=args.seed,
+            m=args.m if args.m is not None else UNSET,
+            capacity=args.capacity if args.capacity is not None else UNSET,
+            evaluate=False if args.no_evaluate else UNSET,
+            **dict(args.opt),
+        )
     summary = result.summary()
     rows = [[key, format_value(value)] for key, value in summary.items()]
     print(
@@ -280,12 +329,20 @@ def main(argv: list[str] | None = None) -> int:
     )
     solve_cmd.add_argument(
         "--data", metavar="PATH", default=None,
-        help="solve a .npy point file out-of-core (memmapped, chunked) "
+        help="solve a .npy point file (memmapped, chunked) or a sharded "
+             "directory (write_shards/make_sharded layout) out-of-core "
              "instead of generating --dataset; --n/--data-seed are ignored",
     )
     solve_cmd.add_argument(
         "--chunk-size", type=int, default=None,
         help="rows per chunk for --data (default: the block byte budget)",
+    )
+    solve_cmd.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="shard the input into N chunk-aligned .npy groups in a "
+             "temporary directory and solve out-of-core from them "
+             "(works with a generated synthetic --dataset or a --data "
+             ".npy file; MapReduce reducers then consume per-shard views)",
     )
     solve_cmd.add_argument(
         "--m", type=int, default=None,

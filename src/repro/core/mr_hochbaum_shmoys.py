@@ -34,22 +34,48 @@ sequential HS would already be infeasible and parallelism is the point.
 from __future__ import annotations
 
 import math
+from functools import partial
 
 import numpy as np
 
 from repro.core.assignment import covering_radius
 from repro.core.hochbaum_shmoys import MAX_POINTS, hochbaum_shmoys
+from repro.core.mrg import _bind_views_eagerly
 from repro.core.result import KCenterResult
 from repro.errors import CapacityError, InvalidParameterError
-from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.cluster import SimulatedCluster, TaskOutput
 from repro.mapreduce.executor import Executor
 from repro.mapreduce.model import validate_cluster
 from repro.mapreduce.partition import PARTITIONERS
 from repro.metric.base import MetricSpace
+from repro.store.space import machine_view
 from repro.utils.rng import SeedLike, SeedStream
 from repro.utils.timing import Timer
 
 __all__ = ["mr_hochbaum_shmoys"]
+
+
+def _hs_shard_task(
+    space: MetricSpace, shard: np.ndarray, k: int, bound: bool = False
+) -> TaskOutput:
+    """One reducer: HS over a machine view of ``shard``; global center ids.
+
+    Top-level (not a closure) and argument-picklable, so the same task
+    list runs on sequential, thread and process executors.  The machine
+    view carries a private counter — an out-of-core shard gathers only
+    its own rows wherever the task runs — and the evaluation count rides
+    back in the :class:`TaskOutput` for exact round accounting.
+    ``bound=True`` means ``space`` is already this machine's view
+    (prebuilt at schedule time so a process-pool task ships only its
+    shard's rows; see :func:`repro.core.mrg._bind_views_eagerly`).
+    """
+    view = space if bound else machine_view(space, shard)
+    try:
+        centers = shard[hochbaum_shmoys(view, k).centers]
+    finally:
+        if hasattr(view, "release"):
+            view.release()
+    return TaskOutput(centers, view.counter.evals)
 
 
 def mr_hochbaum_shmoys(
@@ -111,26 +137,22 @@ def mr_hochbaum_shmoys(
             parts = part_fn(n, n_machines)
         shards = [np.asarray(p, dtype=np.intp) for p in parts if len(p)]
 
-        def make_task(shard: np.ndarray):
-            def task() -> np.ndarray:
-                local = space.local(shard)
-                return shard[hochbaum_shmoys(local, k).centers]
+        eager = _bind_views_eagerly(space, cluster.executor)
 
-            return task
+        def bind(shard: np.ndarray):
+            if eager:
+                return partial(_hs_shard_task, machine_view(space, shard), shard, k, True)
+            return partial(_hs_shard_task, space, shard, k)
 
         results = cluster.run_round(
             "mrhs.reduce",
-            [make_task(shard) for shard in shards],
+            [bind(shard) for shard in shards],
             task_sizes=[len(s) for s in shards],
         )
         union = np.concatenate(results)
 
-        def final_task() -> np.ndarray:
-            local = space.local(union)
-            return union[hochbaum_shmoys(local, k).centers]
-
         (centers,) = cluster.run_round(
-            "mrhs.final", [final_task], task_sizes=[len(union)]
+            "mrhs.final", [bind(union)], task_sizes=[len(union)]
         )
 
     eval_timer = Timer()

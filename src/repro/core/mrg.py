@@ -26,6 +26,7 @@ algorithm (reported separately as ``eval_time``).
 from __future__ import annotations
 
 import math
+from functools import partial
 from typing import Callable
 
 import numpy as np
@@ -34,15 +35,54 @@ from repro.core.assignment import covering_radius
 from repro.core.gonzalez import gonzalez_trace
 from repro.core.result import KCenterResult
 from repro.errors import CapacityError, InvalidParameterError
-from repro.mapreduce.cluster import SimulatedCluster
-from repro.mapreduce.executor import Executor
+from repro.mapreduce.cluster import SimulatedCluster, TaskOutput
+from repro.mapreduce.executor import (
+    Executor,
+    ProcessPoolExecutorBackend,
+)
 from repro.mapreduce.model import default_capacity, mrg_approximation_factor, validate_cluster
 from repro.mapreduce.partition import PARTITIONERS, block_partition
 from repro.metric.base import MetricSpace
+from repro.store.space import ChunkedMetricSpace, machine_view
 from repro.utils.rng import SeedLike, spawn_seeds
 from repro.utils.timing import Timer
 
 __all__ = ["mrg"]
+
+
+def _bind_views_eagerly(space: MetricSpace, executor: Executor) -> bool:
+    """Whether reducer tasks should carry a prebuilt machine view.
+
+    Only worth it for in-memory spaces crossing a process boundary:
+    pickling the prebuilt view ships just the shard's rows, where the
+    parent space would ship the whole dataset to every worker.  Chunked
+    spaces always bind lazily — they pickle by re-opening their backing
+    (no data crosses), and deferring keeps gathers off the driver.
+    """
+    return isinstance(executor, ProcessPoolExecutorBackend) and not isinstance(
+        space, ChunkedMetricSpace
+    )
+
+
+def _gon_shard_task(
+    space: MetricSpace, shard: np.ndarray, k: int, seed, bound: bool = False
+) -> TaskOutput:
+    """One reducer: GON over a machine view of ``shard``; global center ids.
+
+    Top-level and argument-picklable (any executor backend); the machine
+    view's private counter rides back in the :class:`TaskOutput`.  A
+    contiguous shard of an out-of-core space stays out-of-core — the
+    round-1 partition of a sharded dataset never gathers ``(n, d)``
+    anywhere, driver or worker.  ``bound=True`` means ``space`` is
+    already this machine's view (see :func:`_bind_views_eagerly`).
+    """
+    view = space if bound else machine_view(space, shard)
+    try:
+        trace = gonzalez_trace(view, k, seed=seed)
+    finally:
+        if hasattr(view, "release"):
+            view.release()
+    return TaskOutput(shard[trace.centers], view.counter.evals)
 
 
 def _resolve_partitioner(partitioner) -> Callable:
@@ -161,16 +201,17 @@ def mrg(
             shards = _partition_indices(part_fn, current, n_machines, part_seed)
             shard_history.append([len(s) for s in shards])
 
-            def make_task(shard: np.ndarray, machine_seed):
-                def task() -> np.ndarray:
-                    local = space.local(shard)
-                    trace = gonzalez_trace(local, k, seed=machine_seed)
-                    return shard[trace.centers]
-
-                return task
-
+            eager = _bind_views_eagerly(space, cluster.executor)
             tasks = [
-                make_task(shard, machine_seeds[i]) for i, shard in enumerate(shards)
+                partial(
+                    _gon_shard_task,
+                    machine_view(space, shard) if eager else space,
+                    shard,
+                    k,
+                    machine_seeds[i],
+                    eager,
+                )
+                for i, shard in enumerate(shards)
             ]
             results = cluster.run_round(
                 f"mrg.reduce[{reduction_rounds}]",
@@ -182,13 +223,20 @@ def mrg(
         # Final round: GON on the surviving sample, on a single machine.
         final_seed = spawn_seeds(seed, 1)[0] if seed is not None else None
 
-        def final_task() -> np.ndarray:
-            local = space.local(current)
-            trace = gonzalez_trace(local, k, seed=final_seed)
-            return current[trace.centers]
-
+        eager = _bind_views_eagerly(space, cluster.executor)
         (centers,) = cluster.run_round(
-            "mrg.final", [final_task], task_sizes=[len(current)]
+            "mrg.final",
+            [
+                partial(
+                    _gon_shard_task,
+                    machine_view(space, current) if eager else space,
+                    current,
+                    k,
+                    final_seed,
+                    eager,
+                )
+            ],
+            task_sizes=[len(current)],
         )
 
     eval_timer = Timer()

@@ -25,6 +25,7 @@ from repro.data.registry import (
     STREAMABLE,
     Dataset,
     make_dataset,
+    make_sharded,
     make_stream,
 )
 from repro.data.realistic import kddcup99, poker_hand
@@ -35,6 +36,7 @@ __all__ = [
     "DATASETS",
     "STREAMABLE",
     "make_dataset",
+    "make_sharded",
     "make_stream",
     "unif",
     "gau",

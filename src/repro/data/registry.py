@@ -18,7 +18,14 @@ from repro.errors import DatasetError
 from repro.metric.euclidean import EuclideanSpace
 from repro.utils.rng import SeedLike
 
-__all__ = ["Dataset", "DATASETS", "STREAMABLE", "make_dataset", "make_stream"]
+__all__ = [
+    "Dataset",
+    "DATASETS",
+    "STREAMABLE",
+    "make_dataset",
+    "make_stream",
+    "make_sharded",
+]
 
 
 @dataclass
@@ -110,6 +117,34 @@ def make_stream(
     from repro.store.generate import GeneratorStream
 
     return GeneratorStream(name, n, seed=seed, chunk_size=chunk_size, **params)
+
+
+def make_sharded(
+    name: str,
+    n: int,
+    path,
+    shards: int,
+    seed: SeedLike = None,
+    chunk_size: int | None = None,
+    overwrite: bool = False,
+    **params,
+):
+    """Write a registered synthetic family as a sharded directory.
+
+    The distributed-input twin of :func:`make_stream`: the family is
+    generated chunk by chunk and split into ``shards`` chunk-aligned
+    ``.npy`` groups under ``path``
+    (:func:`repro.store.sharded.write_shards` — one chunk resident at a
+    time, never ``(n, dim)``).  Returns the re-opened
+    :class:`~repro.store.sharded.ShardedStream`; ``repro.solve(k=...,
+    data=path)`` and the MapReduce solvers consume it per shard.  The
+    dataset's bits are exactly those of ``make_stream(name, n, seed,
+    chunk_size, **params)`` — sharding is layout, not identity.
+    """
+    from repro.store.sharded import write_shards
+
+    stream = make_stream(name, n, seed=seed, chunk_size=chunk_size, **params)
+    return write_shards(stream, path, shards, overwrite=overwrite)
 
 
 def make_dataset(name: str, n: int, seed: SeedLike = None, **params) -> Dataset:

@@ -21,7 +21,7 @@ methodology exactly, plus the bookkeeping the paper's analysis needs:
 """
 
 from repro.mapreduce.accounting import JobStats, RoundStats
-from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.cluster import SimulatedCluster, TaskOutput
 from repro.mapreduce.executor import (
     ProcessPoolExecutorBackend,
     SequentialExecutor,
@@ -34,10 +34,16 @@ from repro.mapreduce.model import (
     mrg_feasible_two_rounds,
     mrg_rounds_needed,
 )
-from repro.mapreduce.partition import block_partition, hash_partition, random_partition
+from repro.mapreduce.partition import (
+    block_partition,
+    hash_partition,
+    random_partition,
+    shard_aligned_partitioner,
+)
 
 __all__ = [
     "SimulatedCluster",
+    "TaskOutput",
     "RoundStats",
     "JobStats",
     "MapReduceJob",
@@ -48,6 +54,7 @@ __all__ = [
     "block_partition",
     "random_partition",
     "hash_partition",
+    "shard_aligned_partitioner",
     "mrg_feasible_two_rounds",
     "mrg_rounds_needed",
     "mrg_approximation_factor",

@@ -12,11 +12,17 @@ input size.  The cluster
   :class:`~repro.mapreduce.accounting.RoundStats` whose ``parallel_time``
   is the slowest task (paper Section 7.1);
 * attributes distance-evaluation deltas to the round when given a
-  :class:`~repro.metric.base.DistCounter` to watch.
+  :class:`~repro.metric.base.DistCounter` to watch — either observed
+  directly (tasks sharing the watched counter) or reported explicitly by
+  tasks returning :class:`TaskOutput`, which is how per-shard reducer
+  tasks with private counters stay exactly accounted on *every* executor
+  backend, including process pools where worker-side counter mutations
+  never reach the driver.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from repro.errors import CapacityError, InvalidParameterError
@@ -24,7 +30,26 @@ from repro.mapreduce.accounting import JobStats, RoundStats
 from repro.mapreduce.executor import Executor, SequentialExecutor
 from repro.metric.base import DistCounter
 
-__all__ = ["SimulatedCluster"]
+__all__ = ["SimulatedCluster", "TaskOutput"]
+
+
+@dataclass
+class TaskOutput:
+    """A reducer task's return value plus its worker-side accounting.
+
+    Tasks built over per-shard spaces (see
+    :func:`repro.store.machine_view`) count their distance evaluations
+    into a *private* counter — the space may live in another process, so
+    in-place mutation of a shared counter cannot work in general.
+    Wrapping the result in a ``TaskOutput`` tells
+    :meth:`SimulatedCluster.run_round` to fold ``dist_evals`` back into
+    the watched counter on the driver; callers receive the unwrapped
+    ``value``.  Round accounting is then identical on sequential, thread
+    and process backends.
+    """
+
+    value: Any
+    dist_evals: int = 0
 
 
 class SimulatedCluster:
@@ -91,6 +116,11 @@ class SimulatedCluster:
         shuffle_elements:
             Elements moved by the mapper into this round; defaults to the
             sum of task sizes.
+
+        Tasks may return a bare value or a :class:`TaskOutput`; the
+        latter's ``dist_evals`` is folded into the watched counter before
+        the round's delta is taken, and callers always receive the
+        unwrapped values.
         """
         if len(tasks) != len(task_sizes):
             raise InvalidParameterError(
@@ -105,6 +135,12 @@ class SimulatedCluster:
 
         evals_before = self.dist_counter.evals if self.dist_counter else 0
         results, times = self.executor.run(tasks)
+        results = list(results)
+        for t, result in enumerate(results):
+            if isinstance(result, TaskOutput):
+                if self.dist_counter is not None:
+                    self.dist_counter.add(result.dist_evals)
+                results[t] = result.value
         evals_after = self.dist_counter.evals if self.dist_counter else 0
 
         self.stats.add(

@@ -8,8 +8,13 @@ speedup measurement"): simulated timing measures algorithmic work, not
 interpreter contention.
 
 :class:`ProcessPoolExecutorBackend` runs tasks in worker processes for real
-multicore execution.  Tasks must then be picklable top-level callables; the
-per-task times it reports include IPC overhead, so it is *not* used for the
+multicore execution.  Tasks must then be picklable top-level callables —
+which the MapReduce solvers' reducer tasks now are: each is a ``partial``
+over a module-level function whose space argument re-opens its backing
+(memmap, shard directory, generator) in the worker, and whose evaluation
+counts return to the driver in a
+:class:`~repro.mapreduce.cluster.TaskOutput`.  The per-task times it
+reports include IPC overhead, so it is *not* used for the
 paper-reproduction benches — it exists for downstream users with many cores
 and large shards, where the BLAS-bound kernels dominate pickling costs.
 
@@ -20,12 +25,12 @@ calls that release the GIL, so BLAS-heavy shards overlap for real — the
 sweet spot between the honest sequential methodology and full process
 isolation.  Results are bit-identical to the other backends (seeds are
 bound before scheduling); only the reported per-task times differ, as they
-include whatever GIL contention the pure-Python sections see.  One caveat
-for *hand-rolled* task lists: tasks sharing one space also share its
-:class:`~repro.metric.base.DistCounter`, whose tally is a plain ``+=`` —
-concurrent updates may interleave, so give each task a private counter
-when counts matter (``solve_many`` already does exactly that, which is
-why its per-run stats are backend-independent).
+include whatever GIL contention the pure-Python sections see.  Tasks
+sharing one space share its :class:`~repro.metric.base.DistCounter`;
+its tally is lock-guarded, so hand-rolled task lists hammering one
+counter stay exact (``solve_many`` additionally gives each run a private
+counter so per-run records are scheduling-independent, not merely
+race-free).
 """
 
 from __future__ import annotations

@@ -18,6 +18,28 @@ One round of per-shard Gonzalez (the heart of MRG) is::
         partition=lambda idx, m, rng: block_partition(len(idx), m),
         reduce=lambda shard_idx, rng: gonzalez_local(space, shard_idx, k),
     )
+
+Per-shard spaces
+----------------
+A round's payloads need not be index arrays: a ``partition`` function may
+hand each machine a *space* directly — e.g. one
+:class:`~repro.store.space.ChunkedMetricSpace` per shard of a
+:class:`~repro.store.sharded.ShardedStream` (``repro.store.machine_view``
+builds such views).  The default ``size_of`` already accounts them
+correctly (`len(space)` is its point count), and a ``reduce`` that
+returns :class:`~repro.mapreduce.cluster.TaskOutput` gets its
+distance-evaluation count folded into the cluster's watched counter on
+any executor backend — ``combine`` always sees the unwrapped values::
+
+    shard_round = MapReduceRound(
+        label="per-shard-hs",
+        partition=lambda stream, m, rng: [
+            ChunkedMetricSpace(stream.shard(j)) for j in range(stream.n_shards)
+        ],
+        reduce=lambda shard_space, rng: TaskOutput(
+            hochbaum_shmoys(shard_space, k).centers, shard_space.counter.evals
+        ),
+    )
 """
 
 from __future__ import annotations

@@ -15,12 +15,20 @@ stateless-mapper choice a real MapReduce deployment would use.
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
 from repro.errors import InvalidParameterError
 from repro.utils.rng import SeedLike, as_generator
 
-__all__ = ["block_partition", "random_partition", "hash_partition", "PARTITIONERS"]
+__all__ = [
+    "block_partition",
+    "random_partition",
+    "hash_partition",
+    "shard_aligned_partitioner",
+    "PARTITIONERS",
+]
 
 
 def _check(n: int, m: int) -> None:
@@ -30,7 +38,12 @@ def _check(n: int, m: int) -> None:
         raise InvalidParameterError(f"m must be positive, got {m}")
 
 
-def block_partition(n: int, m: int, align: int | None = None) -> list[np.ndarray]:
+def block_partition(
+    n: int,
+    m: int,
+    align: int | None = None,
+    boundaries=None,
+) -> list[np.ndarray]:
     """Contiguous blocks; block sizes differ by at most one.
 
     Deterministic and order-preserving — the "arbitrary" partition of
@@ -45,17 +58,72 @@ def block_partition(n: int, m: int, align: int | None = None) -> list[np.ndarray
     ``ceil(n/m)`` cap of the unaligned mode relaxes to
     ``align * ceil(n / (m * align))``), and when there are fewer chunks
     than machines the trailing machines receive empty shards.
+
+    With ``boundaries`` set — a sorted array of permitted cut offsets,
+    e.g. :attr:`repro.store.sharded.ShardedStream.shard_bounds` — every
+    machine boundary snaps to the *nearest permitted offset* instead.
+    This is the shard-aware mode: machine cuts land on shard-file edges,
+    so every reducer's input is a union of whole shard files (at the
+    price of balance now being bounded by the shard granularity).
+    ``align`` and ``boundaries`` are mutually exclusive.
     """
     _check(n, m)
+    if align is not None and boundaries is not None:
+        raise InvalidParameterError("pass either align or boundaries, not both")
     if align is not None:
         if align <= 0:
             raise InvalidParameterError(f"align must be positive, got {align}")
         n_chunks = -(-n // align)
         chunk_bounds = np.linspace(0, n_chunks, m + 1).astype(np.intp)
         bounds = np.minimum(chunk_bounds * align, n)
+    elif boundaries is not None:
+        allowed = np.unique(np.asarray(boundaries, dtype=np.intp))
+        if allowed.size == 0 or allowed[0] < 0 or allowed[-1] > n:
+            raise InvalidParameterError(
+                f"boundaries must be offsets within [0, {n}], got {boundaries!r}"
+            )
+        # Cuts must be able to cover the whole range.
+        allowed = np.unique(np.concatenate([allowed, [0, n]]))
+        ideal = np.linspace(0, n, m + 1)
+        # Snap each ideal cut to the nearest permitted offset; cumulative
+        # maximum keeps the bounds monotone when machines outnumber
+        # boundary intervals (trailing machines then come out empty).
+        nearest = np.searchsorted(allowed, ideal, side="left")
+        nearest = np.clip(nearest, 1, allowed.size - 1)
+        pick_lower = (ideal - allowed[nearest - 1]) <= (allowed[nearest] - ideal)
+        bounds = np.where(pick_lower, allowed[nearest - 1], allowed[nearest])
+        bounds[0], bounds[-1] = 0, n
+        bounds = np.maximum.accumulate(bounds).astype(np.intp)
     else:
         bounds = np.linspace(0, n, m + 1).astype(np.intp)
     return [np.arange(bounds[i], bounds[i + 1], dtype=np.intp) for i in range(m)]
+
+
+def shard_aligned_partitioner(boundaries) -> Callable[[int, int], list[np.ndarray]]:
+    """A ``PARTITIONERS``-style callable cutting only at ``boundaries``.
+
+    Binds the shard table of a sharded dataset (e.g.
+    ``ShardedStream.shard_bounds``) into a ``(n, m) -> shards`` callable
+    accepted by the MapReduce solvers' ``partitioner`` option, so reducer
+    inputs are unions of whole shard files::
+
+        stream = ShardedStream("shards/")
+        solve(stream, k, algorithm="mrg",
+              partitioner=shard_aligned_partitioner(stream.shard_bounds))
+
+    Shard alignment only describes the original dataset's rows; when the
+    solver partitions something smaller — MRG's later reduction rounds
+    cut a shrunken center subset — the callable falls back to the plain
+    balanced block partition instead of misapplying dataset offsets.
+    """
+    bounds = np.asarray(boundaries, dtype=np.intp)
+
+    def partition(n: int, m: int) -> list[np.ndarray]:
+        if n != int(bounds[-1]):
+            return block_partition(n, m)
+        return block_partition(n, m, boundaries=bounds)
+
+    return partition
 
 
 def random_partition(n: int, m: int, seed: SeedLike = None) -> list[np.ndarray]:

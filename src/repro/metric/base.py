@@ -19,13 +19,31 @@ Two access patterns matter:
 from __future__ import annotations
 
 import abc
+import hashlib
+import threading
 from dataclasses import dataclass
+from typing import Iterable
 
 import numpy as np
 
 from repro.errors import MetricError
 
-__all__ = ["DistCounter", "MetricSpace", "as_index_array"]
+__all__ = ["DistCounter", "MetricSpace", "as_index_array", "content_fingerprint"]
+
+
+def content_fingerprint(tag: str, blocks: Iterable[np.ndarray]) -> str:
+    """Digest-based space fingerprint: ``tag`` + the raw data bytes.
+
+    ``tag`` must encode everything besides the data that determines the
+    distances — metric family, metric parameters, shape, dtype — and
+    ``blocks`` must cover the defining array in canonical row-major,
+    row-partitioned order, so a chunked backing and a monolithic backing
+    of equal data produce equal fingerprints.
+    """
+    h = hashlib.blake2b(tag.encode("utf-8"), digest_size=16)
+    for block in blocks:
+        h.update(np.ascontiguousarray(block, dtype=np.float64).tobytes())
+    return f"{tag}:{h.hexdigest()}"
 
 
 @dataclass
@@ -33,7 +51,13 @@ class DistCounter:
     """Mutable tally of scalar distance evaluations.
 
     Shared between a parent space and all local views derived from it, so a
-    whole algorithm run accumulates into one place.
+    whole algorithm run accumulates into one place.  Updates are
+    lock-guarded: a space (and therefore its counter) may be shared by
+    thread-pool tasks, and an unguarded ``+=`` loses increments when two
+    threads interleave between the read and the write — totals must be
+    exact, they are the paper's operation counts.  The lock is uncontended
+    in sequential runs and is taken once per kernel *block*, not per
+    scalar evaluation, so the guard costs nothing measurable.
 
     ``cache_hits`` / ``cache_misses`` record whether a run's space was
     served from a shared :class:`~repro.store.cache.DistanceCache` (a hit
@@ -45,13 +69,36 @@ class DistCounter:
     cache_hits: int = 0
     cache_misses: int = 0
 
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]  # locks do not pickle (process-pool tasks)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     def add(self, n: int) -> None:
-        self.evals += int(n)
+        with self._lock:
+            self.evals += int(n)
+
+    def count_cache(self, hit: bool) -> None:
+        """Record one distance-cache lookup (hit or miss), lock-guarded
+        like :meth:`add` so shared counters stay exact under threads."""
+        with self._lock:
+            if hit:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
 
     def reset(self) -> None:
-        self.evals = 0
-        self.cache_hits = 0
-        self.cache_misses = 0
+        with self._lock:
+            self.evals = 0
+            self.cache_hits = 0
+            self.cache_misses = 0
 
 
 def as_index_array(idx, n: int, name: str = "indices") -> np.ndarray:
@@ -102,6 +149,31 @@ class MetricSpace(abc.ABC):
 
     def _size(self, idx: np.ndarray | None) -> int:
         return self._n if idx is None else len(idx)
+
+    def fingerprint(self) -> str | None:
+        """Content-based identity of this space, or ``None`` if unknowable.
+
+        Two spaces with equal fingerprints must produce bit-identical
+        distances, so derived artifacts (e.g. a cached distance matrix in
+        :class:`~repro.store.cache.DistanceCache`) can be shared between
+        separately-constructed instances.  Subclasses with access to their
+        defining data (coordinates, a distance matrix) override
+        :meth:`_compute_fingerprint` with a digest over metric parameters,
+        shape, dtype and data bytes; the base implementation returns
+        ``None``, telling consumers to fall back to object identity.
+
+        The digest is computed once per instance (a space's data is
+        immutable by contract), so repeated cache lookups stay O(1).
+        """
+        fp = getattr(self, "_fingerprint", None)
+        if fp is None:
+            fp = self._compute_fingerprint()
+            if fp is not None:
+                self._fingerprint = fp
+        return fp
+
+    def _compute_fingerprint(self) -> str | None:
+        return None
 
     # ------------------------------------------------------------------ #
     # abstract block primitives

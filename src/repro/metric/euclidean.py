@@ -12,10 +12,22 @@ import numpy as np
 
 from repro.errors import MetricError
 from repro.metric import kernels
-from repro.metric.base import DistCounter, MetricSpace
+from repro.metric.base import DistCounter, MetricSpace, content_fingerprint
 from repro.utils.chunking import DEFAULT_BLOCK_BYTES, chunk_slices, resolve_chunk_size
 
-__all__ = ["EuclideanSpace"]
+__all__ = ["EuclideanSpace", "kernels_fingerprint"]
+
+
+def kernels_fingerprint(shape, blocks) -> str:
+    """Fingerprint of a Euclidean-block-kernel space over float64 points.
+
+    Shared by every backing whose distances are bit-identical to
+    :class:`EuclideanSpace` over the same coordinates (in particular the
+    out-of-core :class:`~repro.store.space.ChunkedMetricSpace`), so equal
+    data fingerprints equally regardless of residency.
+    """
+    n, dim = shape
+    return content_fingerprint(f"points:{n}x{dim}", blocks)
 
 
 class EuclideanSpace(MetricSpace):
@@ -48,6 +60,13 @@ class EuclideanSpace(MetricSpace):
     def dim(self) -> int:
         """Coordinate dimension of the space."""
         return self.points.shape[1]
+
+    def _compute_fingerprint(self) -> str:
+        # The "points" family: any space whose distances are the plain
+        # Euclidean block kernels over these float64 coordinates (the
+        # chunked out-of-core space shares the tag — same bits by its
+        # parity contract).
+        return kernels_fingerprint(self.points.shape, [self.points])
 
     # ------------------------------------------------------------------ #
     def _coords(self, idx: np.ndarray | None) -> np.ndarray:

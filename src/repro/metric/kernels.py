@@ -11,12 +11,19 @@ other dtypes are converted once at the boundary.
 
 Accuracy note: the GEMM expansion trades a little absolute accuracy for a
 large constant-factor speedup — the squared distance carries absolute error
-of a few ulps of the squared coordinate magnitude, so distances between
-nearly-coincident points far from the origin are accurate to roughly
-``1e-8 * max|coordinate|`` rather than to machine precision.  This is the
-standard trade-off every BLAS-based clustering implementation makes; center
-selections are unaffected unless two candidate distances are closer than
-that bound.
+of a few ulps of the squared coordinate magnitude.  Left alone, that error
+is *catastrophic* for nearly-coincident points far from the origin: the
+cancellation noise survives the square root at roughly
+``1e-8 * max|coordinate|``, large relative to a near-zero distance.
+:func:`sq_dists_block` therefore detects cancellation-dominated entries
+(squared distance below :data:`CANCEL_RTOL` of the operands' squared
+magnitudes) and recomputes exactly those through the direct
+difference-then-square path, which is accurate to machine precision in the
+*distance*.  Entries above the threshold keep the GEMM value, whose
+relative error there is bounded by ``~eps / sqrt(CANCEL_RTOL)`` — far
+below anything a selection could notice.  The refinement is per-entry
+(row norms, not block extrema), so results remain independent of how
+callers block their rows — the store layer's bit-parity contract.
 """
 
 from __future__ import annotations
@@ -34,12 +41,22 @@ __all__ = [
     "update_min_dists",
     "dists_to_point",
     "MAX_DENSE_ELEMENTS",
+    "CANCEL_RTOL",
 ]
 
 #: Hard cap on elements of a *fully materialised* distance matrix requested
 #: through :func:`pairwise_dists`.  128M float64 entries = 1 GiB; anything
 #: larger is a programming error — use the chunked kernels instead.
 MAX_DENSE_ELEMENTS = 128 * 2**20
+
+#: Squared distances below this fraction of ``|x|^2 + |y|^2`` are
+#: cancellation-dominated in the GEMM expansion and are recomputed through
+#: the direct difference path.  At 1e-6, unrefined entries keep at least
+#: half their significant digits (relative squared-distance error
+#: ``<~ eps / 1e-6 = 2e-10``), while the refined set stays tiny for
+#: non-degenerate data (only pairs closer than ~0.1% of their distance
+#: from the origin qualify).
+CANCEL_RTOL = 1e-6
 
 
 def as_points(x: np.ndarray, name: str = "points") -> np.ndarray:
@@ -67,7 +84,10 @@ def sq_dists_block(
     """Dense squared Euclidean distances between two *small* blocks.
 
     Uses the GEMM expansion; negative round-off is clipped to zero in
-    place.  Callers are responsible for keeping ``len(x) * len(y)`` within
+    place, and cancellation-dominated entries (below :data:`CANCEL_RTOL`
+    of the operands' squared magnitudes) are recomputed through the
+    numerically stable difference path — see the module accuracy note.
+    Callers are responsible for keeping ``len(x) * len(y)`` within
     their memory budget — this function does not chunk.
 
     Parameters
@@ -117,7 +137,37 @@ def sq_dists_block(
     out += x_sq[:, None]
     out += y_sq[None, :]
     np.maximum(out, 0.0, out=out)
+    _refine_cancelled(out, x, y, x_sq, y_sq)
     return out
+
+
+def _refine_cancelled(
+    out: np.ndarray,
+    x: np.ndarray,
+    y: np.ndarray,
+    x_sq: np.ndarray,
+    y_sq: np.ndarray,
+) -> None:
+    """Recompute cancellation-dominated entries of ``out`` in place.
+
+    The refinement criterion uses only per-row squared norms, and each
+    refined entry is recomputed from its own coordinate pair, so the
+    output is independent of block shape (the bit-parity contract) and
+    matches :func:`dists_to_point` bit-for-bit on the refined entries.
+    The scalar pre-check below keeps the common (non-degenerate) case
+    allocation-free; it only skips blocks in which *no* entry can be
+    below its own per-pair threshold, so skipping never changes bits.
+    """
+    if out.size == 0:
+        return
+    if out.min() >= CANCEL_RTOL * (x_sq.max() + y_sq.max()):
+        return
+    thresh = x_sq[:, None] + y_sq[None, :]
+    thresh *= CANCEL_RTOL
+    ii, jj = np.nonzero(out < thresh)
+    if ii.size:
+        diff = x[ii] - y[jj]
+        out[ii, jj] = np.einsum("ij,ij->i", diff, diff)
 
 
 def pairwise_dists(x: np.ndarray, y: np.ndarray) -> np.ndarray:

@@ -118,7 +118,7 @@ register_solver(
     "mrhs",
     kind="mapreduce",
     summary="MapReduce Hochbaum-Shmoys (paper's future-work adaptation)",
-    aliases=("mr_hochbaum_shmoys",),
+    aliases=("mr_hochbaum_shmoys", "mr_hs"),
     approx_factor=8.0,
     shared=_MAPREDUCE_KNOBS,
     options=("partitioner",),

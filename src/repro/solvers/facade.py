@@ -13,11 +13,14 @@ batch is deterministic regardless of executor (sequential vs process
 pool) and scheduling order.
 
 Both entry points accept more than a ready-made space: a coordinate
-array, a :class:`~repro.store.stream.PointStream`, or a ``.npy`` file
-path (solved out-of-core through
-:class:`~repro.store.space.ChunkedMetricSpace`) are coerced via
-:func:`repro.store.as_space`.  ``solve`` additionally supports the
-algorithm-first calling form ``solve("stream", k, data="points.npy")``.
+array, a :class:`~repro.store.stream.PointStream`, a ``.npy`` file path,
+or a sharded directory (``repro.store.write_shards`` output — solved
+out-of-core through :class:`~repro.store.space.ChunkedMetricSpace`,
+with MapReduce reducers consuming per-shard views so the driver never
+gathers the coordinates) are coerced via :func:`repro.store.as_space`.
+``solve`` additionally supports the algorithm-first calling form
+``solve("stream", k, data="points.npy")`` and
+``solve("mr_hs", k, data="shards/")``.
 :func:`solve_many` can thread a shared
 :class:`~repro.store.cache.DistanceCache` through a batch, so repeated
 solves of one small space reuse a single precomputed distance matrix
@@ -88,8 +91,9 @@ def solve(
     space:
         Any :class:`~repro.metric.base.MetricSpace` — or anything
         :func:`repro.store.as_space` coerces into one: a coordinate
-        array, a :class:`~repro.store.stream.PointStream`, or a ``.npy``
-        path (solved out-of-core, never materialising ``(n, d)``).
+        array, a :class:`~repro.store.stream.PointStream`, a ``.npy``
+        path, or a sharded directory (solved out-of-core, never
+        materialising ``(n, d)``).
     k:
         Number of centers (positive).
     algorithm:
@@ -98,7 +102,8 @@ def solve(
         :func:`repro.solvers.list_solvers`).  Default ``"eim"``.
     data:
         Alternative input slot enabling the algorithm-first form
-        ``solve("stream", 25, data="points.npy")`` — when given, the
+        ``solve("stream", 25, data="points.npy")`` or
+        ``solve("mr_hs", 25, data="shards/")`` — when given, the
         first positional argument is read as the algorithm name and
         ``data`` supplies the points.
     chunk_size:

@@ -12,13 +12,20 @@ arrays are the one thing the rest of the package assumed to be resident.
 :class:`~repro.store.generate.GeneratorStream`
     In-memory, on-disk (``.npy`` via memmap, one block resident at a
     time), and never-materialised synthetic backings.
+:class:`~repro.store.sharded.ShardedStream` / :func:`~repro.store.sharded.write_shards`
+    The MapReduce input layout: a directory of chunk-aligned per-shard
+    ``.npy`` groups + JSON manifest; each shard independently openable
+    and picklable, the whole directory solvable as one stream
+    (``solve(k=..., data="shards/")``), with reducers consuming
+    per-shard views (:func:`~repro.store.space.machine_view`).
 :class:`~repro.store.space.ChunkedMetricSpace`
     Full :class:`~repro.metric.base.MetricSpace` over any stream —
     bit-identical results and identical distance accounting to the
     in-memory Euclidean space, with bounded memory.
 :class:`~repro.store.cache.DistanceCache`
     Shared small-space distance matrices for repeated-space batches
-    (``solve_many(..., cache=...)``).
+    (``solve_many(..., cache=...)``), keyed on content fingerprints so
+    equal spaces share entries across re-instantiations.
 
 Typical use::
 
@@ -32,11 +39,13 @@ Typical use::
 
 from repro.store.cache import DistanceCache
 from repro.store.generate import DEFAULT_GEN_BLOCK, GeneratorStream
-from repro.store.space import ChunkedMetricSpace, as_space
+from repro.store.sharded import ShardedStream, write_shards
+from repro.store.space import ChunkedMetricSpace, as_space, machine_view
 from repro.store.stream import (
     ArrayStream,
     MemmapStream,
     PointStream,
+    SliceStream,
     as_stream,
     default_chunk_rows,
     write_npy,
@@ -46,11 +55,15 @@ __all__ = [
     "PointStream",
     "ArrayStream",
     "MemmapStream",
+    "SliceStream",
     "GeneratorStream",
+    "ShardedStream",
     "ChunkedMetricSpace",
     "DistanceCache",
     "as_stream",
     "as_space",
+    "machine_view",
+    "write_shards",
     "write_npy",
     "default_chunk_rows",
     "DEFAULT_GEN_BLOCK",

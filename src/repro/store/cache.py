@@ -45,7 +45,16 @@ __all__ = ["DistanceCache"]
 
 
 class DistanceCache:
-    """Capped cache of full distance matrices, keyed on space identity.
+    """Capped cache of full distance matrices, keyed on space *content*.
+
+    Keys are the spaces' :meth:`~repro.metric.base.MetricSpace.fingerprint`
+    — a digest over metric family, shape and data bytes — so two
+    separately-constructed equal spaces (e.g. the same dataset rebuilt
+    across harness re-instantiations, or an in-memory space and its
+    out-of-core twin) share one matrix.  A space that cannot fingerprint
+    itself (a custom subclass without data access) falls back to object
+    identity, with the space pinned inside the entry so a recycled
+    ``id()`` can never serve a stale matrix to an unrelated space.
 
     Parameters
     ----------
@@ -69,11 +78,13 @@ class DistanceCache:
         self.max_entries = int(max_entries)
         self.hits = 0
         self.misses = 0
-        # id(space) -> (space, matrix).  The space itself is pinned in the
-        # entry: a bare id key could be recycled by the allocator after the
-        # space is garbage-collected, silently serving a stale matrix to an
-        # unrelated space that happens to land on the same address.
-        self._entries: OrderedDict[int, tuple[MetricSpace, np.ndarray]] = OrderedDict()
+        # fingerprint (or identity key) -> (pin, matrix).  ``pin`` is None
+        # for content keys; for the identity fallback it is the space
+        # itself, kept alive so the id cannot be recycled out from under
+        # the entry.
+        self._entries: OrderedDict[
+            object, tuple[MetricSpace | None, np.ndarray]
+        ] = OrderedDict()
         self._lock = threading.Lock()
 
     def __getstate__(self):
@@ -91,11 +102,9 @@ class DistanceCache:
         return 0 < space.n <= self.max_points
 
     def matrix_for(self, space: MetricSpace) -> np.ndarray:
-        """The full distance matrix of ``space``, computed at most once.
-
-        Keyed on object identity: ``solve_many`` shares one space
-        instance across a batch, which is exactly the reuse this cache
-        targets.  Raises for spaces above the size cap.
+        """The full distance matrix of ``space``, computed at most once
+        per distinct *content* (see the class docstring for the keying).
+        Raises for spaces above the size cap.
         """
         return self._matrix_for(space)[0]
 
@@ -106,16 +115,17 @@ class DistanceCache:
                 f"space of size {space.n} exceeds the cache cap "
                 f"(max_points={self.max_points})"
             )
-        key = id(space)
+        fp = space.fingerprint()
+        key = ("id", id(space)) if fp is None else fp
         with self._lock:
             entry = self._entries.get(key)
-            if entry is not None and entry[0] is space:
+            if entry is not None and (fp is not None or entry[0] is space):
                 self._entries.move_to_end(key)
                 self.hits += 1
                 return entry[1], True
             self.misses += 1
             matrix = self._build(space)
-            self._entries[key] = (space, matrix)
+            self._entries[key] = (space if fp is None else None, matrix)
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
             return matrix, False
@@ -145,10 +155,7 @@ class DistanceCache:
             return space
         matrix, hit = self._matrix_for(space)
         view = PrecomputedSpace(matrix, counter=counter, validate=False)
-        if hit:
-            view.counter.cache_hits += 1
-        else:
-            view.counter.cache_misses += 1
+        view.counter.count_cache(hit)
         return view
 
     def stats(self) -> dict[str, int]:

@@ -1,0 +1,262 @@
+"""Sharded point sets: a directory of per-shard ``.npy`` chunk groups.
+
+The paper's MapReduce premise is data that *arrives* partitioned — each
+machine holds a shard, no machine (and in particular no driver) ever
+holds the whole point set.  This module is that layout on disk:
+
+```
+shards/
+├── manifest.json       n, dim, chunk grid, shard table
+├── shard-00000.npy     rows [0, r1)   — whole chunks
+├── shard-00001.npy     rows [r1, r2)
+└── ...
+```
+
+Shard boundaries are **chunk-aligned** (every shard holds whole chunks of
+the global uniform grid, except that the final chunk of the data may be
+short), so the global chunk grid of the directory is exactly the grid of
+the stream it was written from: :func:`write_shards` followed by
+:class:`ShardedStream` round-trips every chunk bit-for-bit.  Balance is
+in chunks — shard sizes differ by at most one chunk, and when there are
+fewer chunks than requested shards the trailing shards are empty (they
+appear in the manifest with no file).
+
+Three consumption patterns:
+
+* **whole-dataset** — ``ShardedStream(dir)`` is an ordinary
+  :class:`~repro.store.stream.PointStream`; wrap it in a
+  :class:`~repro.store.space.ChunkedMetricSpace` (``repro.solve(k=...,
+  data="shards/")`` does this) and any solver runs out-of-core over the
+  directory;
+* **per-shard** — ``stream.shard(j)`` opens shard ``j`` as its own
+  independent stream (a plain :class:`~repro.store.stream.MemmapStream`
+  over that one file), picklable and re-openable inside a process-pool
+  worker with no reference to the rest of the directory;
+* **machine views** — ``stream.shard_bounds`` feeds the shard-aligned
+  mode of :func:`repro.mapreduce.partition.block_partition`, so MapReduce
+  partitions can snap to shard files and every reducer touches one file.
+
+Only the manifest is read at open time; shard files are memory-mapped
+lazily on first access and validated against the manifest then.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from bisect import bisect_right
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import DatasetError, InvalidParameterError
+from repro.store.stream import ArrayStream, MemmapStream, PointStream
+
+__all__ = ["ShardedStream", "write_shards", "MANIFEST_NAME", "SHARD_FORMAT"]
+
+MANIFEST_NAME = "manifest.json"
+SHARD_FORMAT = "repro-sharded-v1"
+
+
+def _shard_row_bounds(n: int, chunk_size: int, shards: int) -> np.ndarray:
+    """Chunk-aligned row offsets of ``shards`` balanced shard groups.
+
+    The same linspace-then-snap rule as ``block_partition(align=...)``:
+    shard sizes differ by at most one chunk; with fewer chunks than
+    shards the trailing shards are empty.
+    """
+    n_chunks = -(-n // chunk_size)
+    chunk_bounds = np.linspace(0, n_chunks, shards + 1).astype(np.intp)
+    return np.minimum(chunk_bounds * chunk_size, n)
+
+
+def write_shards(
+    stream: PointStream, path: str | Path, shards: int, overwrite: bool = False
+) -> "ShardedStream":
+    """Split ``stream`` into a sharded directory; return it re-opened.
+
+    One pass over the stream, one chunk resident at a time (each shard
+    file is written through ``open_memmap``, exactly like
+    :func:`~repro.store.stream.write_npy`).  The written chunk grid is
+    the stream's own, so the round-tripped directory serves bit-identical
+    chunks.
+
+    Parameters
+    ----------
+    stream:
+        Any non-empty :class:`~repro.store.stream.PointStream`.
+    path:
+        Target directory (created if missing).
+    shards:
+        Number of shard groups (positive; may exceed the chunk count, in
+        which case trailing shards are empty manifest entries).
+    overwrite:
+        Allow replacing an existing manifest in ``path``.
+    """
+    if shards <= 0:
+        raise InvalidParameterError(f"shards must be positive, got {shards}")
+    if stream.n == 0:
+        raise DatasetError("refusing to shard an empty stream")
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    manifest_path = path / MANIFEST_NAME
+    if manifest_path.exists() and not overwrite:
+        raise DatasetError(
+            f"{manifest_path} already exists; pass overwrite=True to replace it"
+        )
+
+    cs = stream.chunk_size
+    bounds = _shard_row_bounds(stream.n, cs, shards)
+    entries = []
+    for j in range(shards):
+        row0, row1 = int(bounds[j]), int(bounds[j + 1])
+        if row1 == row0:
+            entries.append({"file": None, "offset": row0, "rows": 0})
+            continue
+        fname = f"shard-{j:05d}.npy"
+        out = np.lib.format.open_memmap(
+            path / fname, mode="w+", dtype=np.float64, shape=(row1 - row0, stream.dim)
+        )
+        try:
+            for c in range(row0 // cs, -(-row1 // cs)):
+                lo, hi = stream.chunk_span(c)
+                out[lo - row0 : hi - row0] = stream.read_chunk(c)
+            out.flush()
+        finally:
+            del out  # close the memmap promptly (Windows-safe file handling)
+        entries.append({"file": fname, "offset": row0, "rows": row1 - row0})
+
+    manifest = {
+        "format": SHARD_FORMAT,
+        "n": stream.n,
+        "dim": stream.dim,
+        "chunk_size": cs,
+        "shards": entries,
+    }
+    manifest_path.write_text(json.dumps(manifest, indent=2) + "\n")
+    return ShardedStream(path)
+
+
+class ShardedStream(PointStream):
+    """Stream over a sharded directory written by :func:`write_shards`.
+
+    Serves the directory's global chunk grid: chunk ``i`` is read from
+    the single shard file that holds it (boundaries are chunk-aligned by
+    construction), memory-mapped lazily and copied out one block at a
+    time — never a whole shard, never ``(n, dim)``.
+
+    Parameters
+    ----------
+    path:
+        The shard directory, or its ``manifest.json``.
+    chunk_size:
+        Must be ``None`` or equal to the manifest's chunk size; the grid
+        is part of the on-disk layout and cannot be implicitly re-chunked.
+    """
+
+    def __init__(self, path: str | Path, chunk_size: int | None = None):
+        path = Path(path)
+        if path.name == MANIFEST_NAME:
+            path = path.parent
+        self.path = path
+        manifest_path = path / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise DatasetError(f"no shard manifest at {manifest_path}")
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise DatasetError(f"unreadable shard manifest {manifest_path}: {exc}") from None
+        if manifest.get("format") != SHARD_FORMAT:
+            raise DatasetError(
+                f"{manifest_path} has format {manifest.get('format')!r}; "
+                f"expected {SHARD_FORMAT!r}"
+            )
+        n, dim, cs = manifest["n"], manifest["dim"], manifest["chunk_size"]
+        if chunk_size is not None and chunk_size != cs:
+            raise InvalidParameterError(
+                f"sharded dataset has chunk_size={cs} on disk; "
+                f"cannot implicitly re-chunk to {chunk_size}"
+            )
+        entries = manifest["shards"]
+        offsets = [int(e["offset"]) for e in entries]
+        rows = [int(e["rows"]) for e in entries]
+        stops = [o + r for o, r in zip(offsets, rows)]
+        if offsets != sorted(offsets) or stops != offsets[1:] + [n]:
+            raise DatasetError(
+                f"{manifest_path}: shard table is not a contiguous cover of "
+                f"[0, {n})"
+            )
+        # Non-empty shards must start on the chunk grid (an empty trailing
+        # entry may sit at n itself, which need not be a chunk multiple).
+        if any(o % cs for o, r in zip(offsets, rows) if r):
+            raise DatasetError(
+                f"{manifest_path}: shard offsets are not chunk-aligned"
+            )
+        super().__init__(int(n), int(dim), int(cs))
+        self._files = [e["file"] for e in entries]
+        self._offsets = offsets
+        self._rows = rows
+        self._maps: dict[int, np.ndarray] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_shards(self) -> int:
+        """Number of shard entries (including empty ones)."""
+        return len(self._files)
+
+    @property
+    def shard_bounds(self) -> np.ndarray:
+        """Row offsets of the shard boundaries: ``n_shards + 1`` values
+        from 0 to ``n`` — the ``boundaries`` argument for shard-aligned
+        partitioning."""
+        return np.asarray([*self._offsets, self._n], dtype=np.intp)
+
+    def shard_span(self, j: int) -> tuple[int, int]:
+        """Global ``(start, stop)`` row range of shard ``j``."""
+        if not 0 <= j < self.n_shards:
+            raise InvalidParameterError(
+                f"shard {j} out of range for {self.n_shards} shards"
+            )
+        return self._offsets[j], self._offsets[j] + self._rows[j]
+
+    def shard(self, j: int) -> PointStream:
+        """Shard ``j`` as an independently-openable stream.
+
+        A :class:`~repro.store.stream.MemmapStream` over the shard's own
+        file (picklable; re-opens in process-pool workers), or an empty
+        in-memory stream for manifest entries with no rows.
+        """
+        start, stop = self.shard_span(j)
+        if stop == start:
+            return ArrayStream(
+                np.empty((0, self.dim)), chunk_size=self._chunk_size
+            )
+        return MemmapStream(self.path / self._files[j], chunk_size=self._chunk_size)
+
+    # ------------------------------------------------------------------ #
+    def _map(self, j: int) -> np.ndarray:
+        with self._lock:
+            mm = self._maps.get(j)
+            if mm is None:
+                mm = np.load(self.path / self._files[j], mmap_mode="r")
+                if mm.shape != (self._rows[j], self.dim):
+                    raise DatasetError(
+                        f"shard file {self._files[j]} has shape {mm.shape}; "
+                        f"manifest says ({self._rows[j]}, {self.dim})"
+                    )
+                self._maps[j] = mm
+            return mm
+
+    def read_chunk(self, i: int) -> np.ndarray:
+        start, stop = self.chunk_span(i)
+        # Chunk-aligned shards: the whole chunk lives in one shard.
+        j = bisect_right(self._offsets, start) - 1
+        off = self._offsets[j]
+        return np.ascontiguousarray(
+            self._map(j)[start - off : stop - off], dtype=np.float64
+        )
+
+    def __reduce__(self):
+        # Memmaps (and locks) do not pickle; re-open from the directory.
+        return (type(self), (str(self.path),))

@@ -42,11 +42,11 @@ import numpy as np
 from repro.errors import MetricError
 from repro.metric import kernels
 from repro.metric.base import DistCounter, MetricSpace
-from repro.metric.euclidean import EuclideanSpace
-from repro.store.stream import PointStream, StreamLike, as_stream
+from repro.metric.euclidean import EuclideanSpace, kernels_fingerprint
+from repro.store.stream import PointStream, SliceStream, StreamLike, as_stream
 from repro.utils.chunking import DEFAULT_BLOCK_BYTES, chunk_slices, resolve_chunk_size
 
-__all__ = ["ChunkedMetricSpace", "as_space"]
+__all__ = ["ChunkedMetricSpace", "as_space", "machine_view"]
 
 SpaceLike = Union[MetricSpace, StreamLike]
 
@@ -109,6 +109,48 @@ class ChunkedMetricSpace(MetricSpace):
     def dim(self) -> int:
         """Coordinate dimension of the space."""
         return self.stream.dim
+
+    def _compute_fingerprint(self) -> str:
+        # Same tag family as EuclideanSpace: chunked results are
+        # bit-identical to the in-memory kernels over the same points, so
+        # equal data must fingerprint equally regardless of backing.
+        # Reads every chunk once; the base class memoises the digest.
+        return kernels_fingerprint(
+            (self.n, self.dim),
+            (self.stream.read_chunk(b) for b in range(self.stream.n_chunks)),
+        )
+
+    def range_view(
+        self, start: int, stop: int, counter: DistCounter | None = None
+    ) -> "ChunkedMetricSpace":
+        """Out-of-core sub-space over the contiguous rows ``[start, stop)``.
+
+        The machine-view twin of :meth:`local`: where ``local``
+        materialises its subset, a range view stays chunked (a
+        :class:`~repro.store.stream.SliceStream` over this space's
+        stream), so a MapReduce reducer whose partition is a contiguous
+        row range works out-of-core end to end.  The view has its own
+        chunk caches and — unlike ``local`` — its *own* counter by
+        default (reducer tasks report their evaluation counts back
+        explicitly; see :class:`repro.mapreduce.cluster.TaskOutput`).
+        """
+        return ChunkedMetricSpace(
+            SliceStream(self.stream, start, stop),
+            counter=counter,
+            block_bytes=self.block_bytes,
+            max_cached_chunks=self.max_cached_chunks,
+            max_cached_rows=self.max_cached_rows,
+        )
+
+    def release(self) -> None:
+        """Drop the chunk and row caches (re-reads repopulate them).
+
+        Reducer tasks call this when they finish so a round's worth of
+        per-machine views does not pin one LRU of chunks each.
+        """
+        with self._lock:
+            self._chunks.clear()
+            self._rows.clear()
 
     def __copy__(self) -> "ChunkedMetricSpace":
         # Share the stream, caches and cache lock but allow the counter to
@@ -380,13 +422,44 @@ class ChunkedMetricSpace(MetricSpace):
         )
 
 
+def machine_view(
+    space: MetricSpace, idx: np.ndarray, counter: DistCounter | None = None
+) -> MetricSpace:
+    """The sub-space one simulated machine works on, with private accounting.
+
+    A contiguous index range over a :class:`ChunkedMetricSpace` stays
+    out-of-core (:meth:`ChunkedMetricSpace.range_view` over a stream
+    slice — the sharded-input fast path, where the driver never gathers
+    coordinate data); any other combination materialises via
+    :meth:`~repro.metric.base.MetricSpace.local`.  Either way the view
+    gets its own :class:`~repro.metric.base.DistCounter` (``counter`` or
+    a fresh one) instead of sharing the parent's, so a reducer task can
+    run anywhere — including a process-pool worker — and report its
+    evaluation count back explicitly.  Results are bit-identical between
+    the two paths (the store layer's parity contract).
+    """
+    counter = DistCounter() if counter is None else counter
+    idx = np.asarray(idx, dtype=np.intp)
+    if (
+        isinstance(space, ChunkedMetricSpace)
+        and idx.size
+        and idx[-1] - idx[0] + 1 == idx.size
+        and bool(np.all(np.diff(idx) == 1))
+    ):
+        return space.range_view(int(idx[0]), int(idx[-1]) + 1, counter=counter)
+    local = space.local(idx)
+    local.counter = counter
+    return local
+
+
 def as_space(data: SpaceLike, chunk_size: int | None = None) -> MetricSpace:
     """Coerce solve-facade input into a :class:`MetricSpace`.
 
     * a :class:`MetricSpace` passes through unchanged (``chunk_size``
       must then be left unset);
-    * a :class:`~repro.store.stream.PointStream` or a ``.npy`` path wraps
-      in a :class:`ChunkedMetricSpace` (out-of-core);
+    * a :class:`~repro.store.stream.PointStream`, a ``.npy`` path, or a
+      sharded directory (see :mod:`repro.store.sharded`) wraps in a
+      :class:`ChunkedMetricSpace` (out-of-core);
     * anything array-like becomes an in-memory
       :class:`~repro.metric.euclidean.EuclideanSpace` — unless a
       ``chunk_size`` is given, which requests the chunked adapter over an

@@ -39,6 +39,7 @@ __all__ = [
     "PointStream",
     "ArrayStream",
     "MemmapStream",
+    "SliceStream",
     "as_stream",
     "default_chunk_rows",
     "write_npy",
@@ -244,12 +245,58 @@ class MemmapStream(PointStream):
         return (type(self), (str(self.path), self._chunk_size))
 
 
+class SliceStream(PointStream):
+    """Contiguous row-range view ``[start, stop)`` of another stream.
+
+    This is the *machine view* of a larger dataset: a MapReduce reducer
+    whose partition is a contiguous global row range can consume exactly
+    its rows out-of-core, re-chunked onto the view's own grid (nominal
+    chunk size inherited from the parent).  Chunks that straddle parent
+    chunk boundaries are stitched from at most two parent reads; nothing
+    beyond one parent chunk is ever resident here.
+
+    Picklable whenever the parent stream is — a process-pool worker
+    re-opens the parent backing (memmap, shard directory, generator) and
+    slices it locally, so coordinate data never crosses the pickle
+    boundary for file-backed parents.
+    """
+
+    def __init__(self, parent: PointStream, start: int, stop: int):
+        if not 0 <= start <= stop <= parent.n:
+            raise InvalidParameterError(
+                f"slice [{start}, {stop}) out of range for a stream of {parent.n} rows"
+            )
+        super().__init__(stop - start, parent.dim, parent.chunk_size)
+        self.parent = parent
+        self.start = int(start)
+        self.stop = int(stop)
+
+    def read_chunk(self, i: int) -> np.ndarray:
+        lo, hi = self.chunk_span(i)
+        lo, hi = lo + self.start, hi + self.start
+        cs = self.parent.chunk_size
+        b_first, b_last = lo // cs, (hi - 1) // cs
+        parts = []
+        for b in range(b_first, b_last + 1):
+            b_start = b * cs
+            block = self.parent.read_chunk(b)
+            parts.append(block[max(lo, b_start) - b_start : hi - b_start])
+        if len(parts) == 1:
+            # Real copy (a row slice is already contiguous, so
+            # ascontiguousarray would alias): a cached view chunk must
+            # not pin the whole parent chunk it was cut from.
+            return parts[0].copy()
+        return np.concatenate(parts, axis=0)
+
+
 def as_stream(data: StreamLike, chunk_size: int | None = None) -> PointStream:
     """Coerce stream-like input into a :class:`PointStream`.
 
     * a stream passes through unchanged (``chunk_size`` must then be
       ``None`` or match — re-chunking an existing stream is not implicit);
-    * a ``str`` / :class:`~pathlib.Path` opens a :class:`MemmapStream`;
+    * a ``str`` / :class:`~pathlib.Path` to a ``.npy`` file opens a
+      :class:`MemmapStream`; a directory (or its ``manifest.json``) opens
+      a :class:`~repro.store.sharded.ShardedStream`;
     * anything array-like wraps in an :class:`ArrayStream`.
     """
     if isinstance(data, PointStream):
@@ -260,5 +307,10 @@ def as_stream(data: StreamLike, chunk_size: int | None = None) -> PointStream:
             )
         return data
     if isinstance(data, (str, Path)):
+        path = Path(data)
+        if path.is_dir() or path.name == "manifest.json":
+            from repro.store.sharded import ShardedStream
+
+            return ShardedStream(path, chunk_size=chunk_size)
         return MemmapStream(data, chunk_size=chunk_size)
     return ArrayStream(data, chunk_size=chunk_size)

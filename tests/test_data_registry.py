@@ -31,6 +31,7 @@ class TestMakeDataset:
         assert space.n == 50
         assert space.dim == ds.dim
 
+
     def test_deterministic_per_seed(self):
         a = make_dataset("unb", 100, seed=11)
         b = make_dataset("unb", 100, seed=11)
@@ -40,3 +41,27 @@ class TestMakeDataset:
         a = make_dataset("poker", 100, seed=1)
         b = make_dataset("poker", 100, seed=2)
         assert not np.array_equal(a.points, b.points)
+
+
+class TestMakeSharded:
+    def test_sharding_is_layout_not_identity(self, tmp_path):
+        """make_sharded's bits must equal make_stream's at any shard count."""
+        from repro.data.registry import make_sharded, make_stream
+        from repro.store import ShardedStream
+
+        stream = make_stream("gau", 600, seed=4, chunk_size=100, k_prime=3)
+        ref = np.concatenate([block for block, _ in stream])
+        sh = make_sharded(
+            "gau", 600, tmp_path / "sh", 4, seed=4, chunk_size=100, k_prime=3
+        )
+        assert isinstance(sh, ShardedStream)
+        assert sh.n_shards == 4
+        np.testing.assert_array_equal(
+            np.concatenate([block for block, _ in sh]), ref
+        )
+
+    def test_non_streamable_family_rejected(self, tmp_path):
+        from repro.data.registry import make_sharded
+
+        with pytest.raises(DatasetError, match="no chunked generator"):
+            make_sharded("poker", 100, tmp_path / "sh", 2)

@@ -109,6 +109,55 @@ class TestSolveManyParity:
             assert runs[0][key].radius == runs[1][key].radius
 
 
+class TestSharedCounterUnderThreads:
+    def test_hammered_counter_total_is_exact(self):
+        """ISSUE regression: a DistCounter shared by hand-rolled thread
+        tasks must tally exactly — the old plain ``+=`` lost increments
+        when threads interleaved between the read and the write."""
+        from repro.metric.base import DistCounter
+
+        counter = DistCounter()
+        adds_per_task, tasks = 2_000, 16
+
+        def hammer():
+            for _ in range(adds_per_task):
+                counter.add(1)
+            return True
+
+        results, _ = ThreadPoolExecutorBackend(max_workers=8).run(
+            [hammer for _ in range(tasks)]
+        )
+        assert all(results)
+        assert counter.evals == adds_per_task * tasks
+
+    def test_shared_space_counter_total_is_exact(self, space):
+        # The realistic shape of the race: many tasks evaluating
+        # distances against one shared space.
+        space.counter.reset()
+        idx = np.arange(space.n, dtype=np.intp)
+
+        def task():
+            space.dists_to(idx, 0)
+            return True
+
+        tasks = [task for _ in range(64)]
+        ThreadPoolExecutorBackend(max_workers=8).run(tasks)
+        assert space.counter.evals == 64 * space.n
+        space.counter.reset()
+
+    def test_counter_pickles_without_its_lock(self):
+        import pickle
+
+        from repro.metric.base import DistCounter
+
+        counter = DistCounter()
+        counter.add(7)
+        clone = pickle.loads(pickle.dumps(counter))
+        assert clone.evals == 7
+        clone.add(3)  # the restored counter has a working lock
+        assert clone.evals == 10
+
+
 class TestExports:
     def test_thread_backend_exported(self):
         from repro.mapreduce import ThreadPoolExecutorBackend as exported

@@ -50,6 +50,32 @@ class TestSqDistsBlock:
         out = kernels.sq_dists_block(x, x.copy())
         assert (out >= 0).all()
 
+    def test_cancellation_refined_to_stable_path(self, rng):
+        # Near-duplicate points far from the origin: the raw GEMM
+        # expansion is only good to ~ulps of |x|^2 (absolute), which is
+        # noise at these separations.  The refinement must recompute
+        # such entries via the difference path, bit-equal to the fused
+        # point kernel.
+        base = np.full((1, 8), 97.0)
+        x = base + rng.normal(scale=1e-7, size=(40, 8))
+        out = kernels.sq_dists_block(x, x.copy())
+        want = np.stack([kernels.dists_to_point(x, p) for p in x], axis=1)
+        # Every entry of this instance is below the refinement threshold,
+        # so the block kernel and the fused point kernel must agree in
+        # distance space bit-for-bit.
+        np.testing.assert_array_equal(np.sqrt(out), want)
+
+    def test_refinement_is_blocking_independent(self, rng):
+        # Per-entry refinement: the same pair must get the same bits
+        # whether its row arrives in a wide block or alone.
+        x = np.full((6, 4), 50.0) + rng.normal(scale=1e-6, size=(6, 4))
+        y = x[::-1].copy()
+        whole = kernels.sq_dists_block(x, y)
+        rows = np.concatenate(
+            [kernels.sq_dists_block(x[i : i + 2], y) for i in range(0, 6, 2)]
+        )
+        np.testing.assert_array_equal(whole, rows)
+
     def test_dim_mismatch(self):
         with pytest.raises(MetricError, match="dimension mismatch"):
             kernels.sq_dists_block(np.zeros((2, 3)), np.zeros((2, 4)))

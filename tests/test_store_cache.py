@@ -164,17 +164,66 @@ class TestSolveManyWithCache:
         assert clone.misses == 1
 
 
-class TestStaleIdentityGuard:
-    def test_recycled_id_never_serves_stale_matrix(self):
-        """Entries pin the space object: a different space landing on a
-        recycled id must rebuild, not reuse."""
+class TestContentKeys:
+    def test_equal_spaces_share_one_matrix(self):
+        """ISSUE regression: two separately-constructed equal spaces must
+        hit the same entry (id-keying never hit across rebuilds)."""
+        pts = np.random.default_rng(4).normal(size=(40, 3))
+        cache = DistanceCache(max_points=128)
+        m1 = cache.matrix_for(EuclideanSpace(pts))
+        m2 = cache.matrix_for(EuclideanSpace(pts.copy()))
+        assert m1 is m2
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_chunked_twin_shares_the_in_memory_entry(self):
+        # Same bits, different residency: the out-of-core adapter must
+        # reuse the matrix built for the in-memory space (its distances
+        # are bit-identical by the store layer's parity contract).
+        from repro.store import ArrayStream, ChunkedMetricSpace
+
+        pts = np.random.default_rng(5).normal(size=(50, 2))
+        cache = DistanceCache(max_points=128)
+        cache.matrix_for(EuclideanSpace(pts))
+        cache.matrix_for(ChunkedMetricSpace(ArrayStream(pts, chunk_size=7)))
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_different_content_never_collides(self):
+        pts = np.random.default_rng(6).normal(size=(60, 2))
+        cache = DistanceCache(max_points=128)
+        cache.matrix_for(EuclideanSpace(pts[:30]))
+        matrix = cache.matrix_for(EuclideanSpace(pts[30:]))
+        assert cache.misses == 2 and cache.hits == 0
+        assert matrix[0, 1] == pytest.approx(
+            EuclideanSpace(pts[30:]).dist(0, 1), abs=1e-8
+        )
+
+    def test_metric_parameters_are_part_of_the_key(self):
+        # Same coordinates, different metric (or p): distinct entries.
+        from repro.metric.minkowski import MinkowskiSpace
+
+        pts = np.random.default_rng(7).normal(size=(25, 3))
+        cache = DistanceCache(max_points=128)
+        cache.matrix_for(MinkowskiSpace(pts, p=1.0))
+        cache.matrix_for(MinkowskiSpace(pts, p=np.inf))
+        cache.matrix_for(EuclideanSpace(pts))
+        assert (cache.hits, cache.misses) == (0, 3)
+
+    def test_fingerprintless_space_falls_back_to_pinned_identity(self):
+        """A space that cannot fingerprint itself still caches, keyed on
+        identity with the object pinned (a recycled id must rebuild)."""
+
+        class OpaqueSpace(EuclideanSpace):
+            def fingerprint(self):
+                return None
+
         pts = np.random.default_rng(1).normal(size=(60, 2))
         cache = DistanceCache(max_points=128)
-        s1 = EuclideanSpace(pts[:30])
-        cache.matrix_for(s1)
-        s2 = EuclideanSpace(pts[30:])
+        s1 = OpaqueSpace(pts[:30])
+        m1 = cache.matrix_for(s1)
+        assert cache.matrix_for(s1) is m1
+        s2 = OpaqueSpace(pts[30:])
         # simulate CPython recycling s1's address for s2
-        cache._entries[id(s2)] = cache._entries.pop(id(s1))
+        cache._entries[("id", id(s2))] = cache._entries.pop(("id", id(s1)))
         matrix = cache.matrix_for(s2)
         assert cache.misses == 2
         assert matrix.shape == (30, 30)
