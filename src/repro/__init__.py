@@ -86,6 +86,7 @@ from repro.store import (
 )
 from repro.solvers import (
     BatchKey,
+    BatchResults,
     SolveConfig,
     SolverSpec,
     get_solver,
@@ -104,6 +105,7 @@ __all__ = [
     "solve",
     "solve_many",
     "BatchKey",
+    "BatchResults",
     "SolveConfig",
     "SolverSpec",
     "register_solver",

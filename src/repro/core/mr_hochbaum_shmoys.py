@@ -48,6 +48,7 @@ from repro.mapreduce.executor import Executor
 from repro.mapreduce.model import validate_cluster
 from repro.mapreduce.partition import PARTITIONERS
 from repro.metric.base import MetricSpace
+from repro.store.shm import shared_space
 from repro.store.space import machine_view
 from repro.utils.rng import SeedLike, SeedStream
 from repro.utils.timing import Timer
@@ -129,7 +130,9 @@ def mr_hochbaum_shmoys(
     seeds = SeedStream(seed)
     wall = Timer()
 
-    with wall:
+    # Same zero-copy scope as MRG: in-memory coordinates published once
+    # per job for process-pool rounds (repro.store.shm).
+    with wall, shared_space(space, cluster.executor) as task_space:
         n_machines = min(m, n)
         try:
             parts = part_fn(n, n_machines, seeds.seeds(1)[0])
@@ -137,12 +140,14 @@ def mr_hochbaum_shmoys(
             parts = part_fn(n, n_machines)
         shards = [np.asarray(p, dtype=np.intp) for p in parts if len(p)]
 
-        eager = _bind_views_eagerly(space, cluster.executor)
+        eager = _bind_views_eagerly(task_space, cluster.executor)
 
         def bind(shard: np.ndarray):
             if eager:
-                return partial(_hs_shard_task, machine_view(space, shard), shard, k, True)
-            return partial(_hs_shard_task, space, shard, k)
+                return partial(
+                    _hs_shard_task, machine_view(task_space, shard), shard, k, True
+                )
+            return partial(_hs_shard_task, task_space, shard, k)
 
         results = cluster.run_round(
             "mrhs.reduce",

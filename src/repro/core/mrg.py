@@ -36,13 +36,11 @@ from repro.core.gonzalez import gonzalez_trace
 from repro.core.result import KCenterResult
 from repro.errors import CapacityError, InvalidParameterError
 from repro.mapreduce.cluster import SimulatedCluster, TaskOutput
-from repro.mapreduce.executor import (
-    Executor,
-    ProcessPoolExecutorBackend,
-)
+from repro.mapreduce.executor import Executor
 from repro.mapreduce.model import default_capacity, mrg_approximation_factor, validate_cluster
 from repro.mapreduce.partition import PARTITIONERS, block_partition
 from repro.metric.base import MetricSpace
+from repro.store.shm import shared_space
 from repro.store.space import ChunkedMetricSpace, machine_view
 from repro.utils.rng import SeedLike, spawn_seeds
 from repro.utils.timing import Timer
@@ -53,14 +51,20 @@ __all__ = ["mrg"]
 def _bind_views_eagerly(space: MetricSpace, executor: Executor) -> bool:
     """Whether reducer tasks should carry a prebuilt machine view.
 
-    Only worth it for in-memory spaces crossing a process boundary:
-    pickling the prebuilt view ships just the shard's rows, where the
-    parent space would ship the whole dataset to every worker.  Chunked
-    spaces always bind lazily — they pickle by re-opening their backing
-    (no data crosses), and deferring keeps gathers off the driver.
+    Only worth it for in-memory spaces crossing a process boundary
+    *without* a zero-copy route: pickling the prebuilt view ships just
+    the shard's rows, where the parent space would ship the whole
+    dataset to every worker.  Chunked spaces always bind lazily — they
+    pickle by re-opening their backing (no data crosses) — and so do
+    spaces published to shared memory (``space._shared`` set inside a
+    :func:`repro.store.shm.shared_space` scope): they pickle as a
+    ~100-byte handle, and the worker builds the view against the
+    attached block, keeping even the shard-row copies off the driver.
     """
-    return isinstance(executor, ProcessPoolExecutorBackend) and not isinstance(
-        space, ChunkedMetricSpace
+    return (
+        getattr(executor, "crosses_process_boundary", False)
+        and not isinstance(space, ChunkedMetricSpace)
+        and getattr(space, "_shared", None) is None
     )
 
 
@@ -165,7 +169,11 @@ def mrg(
     cluster = SimulatedCluster(m, c, executor=executor, dist_counter=space.counter)
     wall = Timer()
 
-    with wall:
+    # Publish the in-memory coordinate block once per job when the rounds
+    # run in a process pool: reducer tasks then pickle a shared-memory
+    # handle instead of their shard's rows (repro.store.shm).  The segment
+    # lives exactly as long as the job, error paths included.
+    with wall, shared_space(space, cluster.executor) as task_space:
         current = np.arange(n, dtype=np.intp)
         reduction_rounds = 0
         shard_history: list[list[int]] = []
@@ -201,11 +209,11 @@ def mrg(
             shards = _partition_indices(part_fn, current, n_machines, part_seed)
             shard_history.append([len(s) for s in shards])
 
-            eager = _bind_views_eagerly(space, cluster.executor)
+            eager = _bind_views_eagerly(task_space, cluster.executor)
             tasks = [
                 partial(
                     _gon_shard_task,
-                    machine_view(space, shard) if eager else space,
+                    machine_view(task_space, shard) if eager else task_space,
                     shard,
                     k,
                     machine_seeds[i],
@@ -223,13 +231,13 @@ def mrg(
         # Final round: GON on the surviving sample, on a single machine.
         final_seed = spawn_seeds(seed, 1)[0] if seed is not None else None
 
-        eager = _bind_views_eagerly(space, cluster.executor)
+        eager = _bind_views_eagerly(task_space, cluster.executor)
         (centers,) = cluster.run_round(
             "mrg.final",
             [
                 partial(
                     _gon_shard_task,
-                    machine_view(space, current) if eager else space,
+                    machine_view(task_space, current) if eager else task_space,
                     current,
                     k,
                     final_seed,

@@ -20,7 +20,7 @@ methodology exactly, plus the bookkeeping the paper's analysis needs:
   process-pool (real multicore) task executors behind one protocol.
 """
 
-from repro.mapreduce.accounting import JobStats, RoundStats
+from repro.mapreduce.accounting import BatchSummary, JobStats, RoundStats
 from repro.mapreduce.cluster import SimulatedCluster, TaskOutput
 from repro.mapreduce.executor import (
     ProcessPoolExecutorBackend,
@@ -46,6 +46,7 @@ __all__ = [
     "TaskOutput",
     "RoundStats",
     "JobStats",
+    "BatchSummary",
     "MapReduceJob",
     "MapReduceRound",
     "SequentialExecutor",

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["RoundStats", "JobStats"]
+__all__ = ["RoundStats", "JobStats", "BatchSummary"]
 
 
 @dataclass
@@ -112,4 +112,45 @@ class JobStats:
             "shuffle_elements": self.shuffle_elements,
             "dist_evals": self.dist_evals,
             "max_machine_load": self.max_machine_load,
+        }
+
+
+@dataclass
+class BatchSummary:
+    """Merged accounting of one ``solve_many`` batch (the JobStats of the
+    batch fan-out, one level above the per-run round stats).
+
+    The two time notions mirror :class:`JobStats`: ``parallel_time`` is
+    the slowest *run* in the batch (what a fully parallel fan-out would
+    take), ``cpu_time`` the sum over runs (what the sequential backend
+    pays).  ``dist_evals`` totals every run's private counter — the
+    *logical* evaluation count, cache- and backend-invariant, so a
+    cached batch reports the same total as an uncached one while
+    ``cache_hits``/``cache_misses`` record the reuse that actually
+    happened.  The cache numbers *are* backend-dependent: the
+    :class:`~repro.store.cache.DistanceCache` is shared within the
+    driver process, so sequential/thread fan-outs report hits where
+    process-pool tasks, each unpickling a private snapshot, report
+    misses.  ``solver_rounds`` sums the MapReduce rounds of the runs
+    that report round stats (sequential solvers contribute zero).
+    """
+
+    runs: int = 0
+    parallel_time: float = 0.0
+    cpu_time: float = 0.0
+    dist_evals: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    solver_rounds: int = 0
+
+    def summary(self) -> dict:
+        """Flat dict of headline numbers, shaped like ``JobStats.summary``."""
+        return {
+            "runs": self.runs,
+            "parallel_time": self.parallel_time,
+            "cpu_time": self.cpu_time,
+            "dist_evals": self.dist_evals,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "solver_rounds": self.solver_rounds,
         }

@@ -20,13 +20,15 @@ Public types
     Explicit distance matrix — for tiny oracles and metric-axiom tests.
 """
 
-from repro.metric.base import MetricSpace
+from repro.metric.base import DistCounter, MetricSpace, TaskCounter
 from repro.metric.euclidean import EuclideanSpace
 from repro.metric.kernels import (
+    Workspace,
     min_dists,
     pairwise_dists,
     sq_dists_block,
     update_min_dists,
+    workspace,
 )
 from repro.metric.minkowski import MinkowskiSpace
 from repro.metric.precomputed import PrecomputedSpace
@@ -34,6 +36,8 @@ from repro.metric.validation import check_metric_axioms
 
 __all__ = [
     "MetricSpace",
+    "DistCounter",
+    "TaskCounter",
     "EuclideanSpace",
     "MinkowskiSpace",
     "PrecomputedSpace",
@@ -42,4 +46,6 @@ __all__ = [
     "pairwise_dists",
     "min_dists",
     "update_min_dists",
+    "Workspace",
+    "workspace",
 ]

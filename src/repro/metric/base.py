@@ -28,7 +28,13 @@ import numpy as np
 
 from repro.errors import MetricError
 
-__all__ = ["DistCounter", "MetricSpace", "as_index_array", "content_fingerprint"]
+__all__ = [
+    "DistCounter",
+    "TaskCounter",
+    "MetricSpace",
+    "as_index_array",
+    "content_fingerprint",
+]
 
 
 def content_fingerprint(tag: str, blocks: Iterable[np.ndarray]) -> str:
@@ -57,7 +63,11 @@ class DistCounter:
     threads interleave between the read and the write — totals must be
     exact, they are the paper's operation counts.  The lock is uncontended
     in sequential runs and is taken once per kernel *block*, not per
-    scalar evaluation, so the guard costs nothing measurable.
+    scalar evaluation, so the guard costs nothing measurable.  Counters
+    owned by exactly one task for their whole lifetime (machine views,
+    per-run batch counters) use the lock-free :class:`TaskCounter`
+    subclass instead and pay one lock acquisition per *task*, when the
+    driver folds their total into the shared counter.
 
     ``cache_hits`` / ``cache_misses`` record whether a run's space was
     served from a shared :class:`~repro.store.cache.DistanceCache` (a hit
@@ -99,6 +109,42 @@ class DistCounter:
             self.evals = 0
             self.cache_hits = 0
             self.cache_misses = 0
+
+
+class TaskCounter(DistCounter):
+    """Lock-free :class:`DistCounter` for **single-owner** accounting.
+
+    A reducer task's machine view (see :func:`repro.store.machine_view`)
+    is only ever touched by the one task that owns it; its total travels
+    back to the driver explicitly
+    (:class:`~repro.mapreduce.cluster.TaskOutput`) and is folded into
+    the shared counter there — **one** lock acquisition per task,
+    instead of one per kernel block.  Dropping the per-block lock is
+    safe precisely because of that ownership contract: nothing else can
+    observe the counter while the task runs.
+
+    Do *not* use a TaskCounter anywhere several threads can reach it.
+    Tasks evaluating distances against one shared space (EIM's closure
+    rounds, hand-rolled task lists) need the locked parent class to keep
+    totals exact — and so does a ``solve_many`` run's private counter
+    (``_run_one`` deliberately creates a locked ``DistCounter``): a
+    per-entry *thread* executor makes that run's own reducer tasks hit
+    the run counter concurrently, the very race the lock closes.
+    """
+
+    def add(self, n: int) -> None:
+        self.evals += int(n)
+
+    def count_cache(self, hit: bool) -> None:
+        if hit:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+
+    def reset(self) -> None:
+        self.evals = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
 
 
 def as_index_array(idx, n: int, name: str = "indices") -> np.ndarray:

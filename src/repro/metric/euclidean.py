@@ -55,6 +55,22 @@ class EuclideanSpace(MetricSpace):
         self.points = pts
         self.block_bytes = int(block_bytes)
         self._sq = np.einsum("ij,ij->i", pts, pts)
+        # Zero-copy transport handle (repro.store.shm.shared_space): when
+        # set, pickling ships the handle and the far side re-attaches the
+        # published block instead of copying the rows.
+        self._shared = None
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        if state.get("_shared") is not None:
+            state["points"] = None
+            state["_sq"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        if self.points is None and self._shared is not None:
+            self.points, self._sq = self._shared.attach_with_sq()
 
     @property
     def dim(self) -> int:
@@ -132,8 +148,9 @@ class EuclideanSpace(MetricSpace):
         dist = np.empty(x.shape[0], dtype=np.float64)
         x_chunk = resolve_chunk_size(y.shape[0], block_bytes=self.block_bytes)
         x_sq_all = self._sqn(i_idx)
+        ws = kernels.workspace()  # blocks are argmin-consumed before reuse
         for sl in chunk_slices(x.shape[0], x_chunk):
-            sq = kernels.sq_dists_block(x[sl], y, x_sq_all[sl], y_sq)
+            sq = kernels.sq_dists_block(x[sl], y, x_sq_all[sl], y_sq, ws=ws)
             p = sq.argmin(axis=1)
             pos[sl] = p
             d = sq[np.arange(sq.shape[0]), p]

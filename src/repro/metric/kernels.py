@@ -9,6 +9,19 @@ minima over materialised temporaries.
 All kernels take and return ``float64`` C-contiguous arrays.  Inputs with
 other dtypes are converted once at the boundary.
 
+Scratch reuse: the chunked kernels allocate the same block-sized
+temporaries (GEMM output, row minima, difference blocks) over and over —
+once per block, thousands of times per solve.  A :class:`Workspace` keeps
+those buffers alive between calls and hands out resized views, and each
+kernel writes into them with ``out=`` instead of allocating: same BLAS
+routines, same bits, no per-block allocator traffic.  Workspaces are
+**per thread** (see :func:`workspace`), so concurrent thread-pool tasks
+never share scratch; only buffers that cannot escape a call (consumed by
+a reduction before the kernel returns) are ever served from a workspace
+— an array a caller may hold onto, such as :func:`sq_dists_block`'s
+return value at the API boundary, is always freshly allocated unless the
+caller explicitly opts in by passing its own workspace.
+
 Accuracy note: the GEMM expansion trades a little absolute accuracy for a
 large constant-factor speedup — the squared distance carries absolute error
 of a few ulps of the squared coordinate magnitude.  Left alone, that error
@@ -28,6 +41,9 @@ callers block their rows — the store layer's bit-parity contract.
 
 from __future__ import annotations
 
+import math
+import threading
+
 import numpy as np
 
 from repro.errors import MetricError
@@ -40,7 +56,10 @@ __all__ = [
     "min_dists",
     "update_min_dists",
     "dists_to_point",
+    "Workspace",
+    "workspace",
     "MAX_DENSE_ELEMENTS",
+    "MAX_RETAINED_BYTES",
     "CANCEL_RTOL",
 ]
 
@@ -48,6 +67,14 @@ __all__ = [
 #: through :func:`pairwise_dists`.  128M float64 entries = 1 GiB; anything
 #: larger is a programming error — use the chunked kernels instead.
 MAX_DENSE_ELEMENTS = 128 * 2**20
+
+#: Cap on a single retained :class:`Workspace` buffer.  Matches the
+#: chunked kernels' temporary-block budget: every blocked path requests
+#: at most ~``DEFAULT_BLOCK_BYTES`` per role, so the cap never affects
+#: them; it only stops *unblocked* whole-array temporaries (a full-space
+#: ``dists_to_point`` on a huge in-memory set) from being pinned by the
+#: thread-local workspace after the call ends.
+MAX_RETAINED_BYTES = DEFAULT_BLOCK_BYTES
 
 #: Squared distances below this fraction of ``|x|^2 + |y|^2`` are
 #: cancellation-dominated in the GEMM expansion and are recomputed through
@@ -75,11 +102,86 @@ def _sq_norms(x: np.ndarray) -> np.ndarray:
     return np.einsum("ij,ij->i", x, x)
 
 
+class Workspace:
+    """Reusable scratch buffers for the chunked kernels.
+
+    A workspace owns one flat ``float64`` buffer per *role* ("gemm",
+    "rowmin", "diff", ...); :meth:`take` grows the buffer when needed and
+    returns a C-contiguous view of the requested shape.  Buffers are
+    recycled call-to-call, so a hot loop (Gonzalez's k passes, a round of
+    reducer blocks) performs zero block-sized allocations after warm-up.
+
+    Contract: a view obtained from :meth:`take` is valid only until the
+    next ``take`` of the same role — callers must fully consume it (fold
+    it into a running minimum, copy the reduction out) before the next
+    kernel call on the same workspace.  The kernels in this module uphold
+    that internally; the public entry points never return workspace
+    memory unless the caller passed the workspace in explicitly.
+
+    Retention is bounded: requests above :data:`MAX_RETAINED_BYTES`
+    (the chunked kernels' block budget) are served as plain transient
+    allocations instead of growing the held buffer, so a workspace that
+    once saw a dataset-sized temporary (e.g. a whole-space
+    ``dists_to_point`` pass) does not pin it for the life of the
+    thread — held scratch stays O(block budget), never O(n·d).
+
+    One workspace must not be shared between threads; use
+    :func:`workspace` for a per-thread instance.
+    """
+
+    __slots__ = ("_bufs",)
+
+    def __init__(self) -> None:
+        self._bufs: dict[str, np.ndarray] = {}
+
+    def take(self, role: str, shape: tuple[int, ...]) -> np.ndarray:
+        """A ``shape``-d float64 view of the scratch buffer for ``role``.
+
+        Oversized requests (beyond :data:`MAX_RETAINED_BYTES`) fall back
+        to a fresh transient allocation — correct either way, it is just
+        not recycled.
+        """
+        size = math.prod(shape)
+        if size * 8 > MAX_RETAINED_BYTES:
+            return np.empty(shape, dtype=np.float64)
+        buf = self._bufs.get(role)
+        if buf is None or buf.size < size:
+            buf = np.empty(size, dtype=np.float64)
+            self._bufs[role] = buf
+        return buf[:size].reshape(shape)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently held across all roles (introspection)."""
+        return sum(buf.nbytes for buf in self._bufs.values())
+
+    def release(self) -> None:
+        """Drop every held buffer (the next take re-allocates)."""
+        self._bufs.clear()
+
+
+_tls = threading.local()
+
+
+def workspace() -> Workspace:
+    """The calling thread's shared :class:`Workspace` (created on demand).
+
+    Thread-local, so concurrent executor tasks each reuse their own
+    scratch and never race on a buffer — the kernels default to this
+    workspace for temporaries that cannot escape the call.
+    """
+    ws = getattr(_tls, "ws", None)
+    if ws is None:
+        ws = _tls.ws = Workspace()
+    return ws
+
+
 def sq_dists_block(
     x: np.ndarray,
     y: np.ndarray,
     x_sq: np.ndarray | None = None,
     y_sq: np.ndarray | None = None,
+    ws: Workspace | None = None,
 ) -> np.ndarray:
     """Dense squared Euclidean distances between two *small* blocks.
 
@@ -97,6 +199,13 @@ def sq_dists_block(
     x_sq, y_sq:
         Optional precomputed squared norms (saves a pass when the caller
         reuses them across many blocks).
+    ws:
+        Optional :class:`Workspace` the GEMM output is served from — the
+        BLAS call then writes into recycled scratch via ``out=`` (same
+        routine, same bits, no allocation).  Passing a workspace hands
+        over ownership of the result: it is only valid until the next
+        workspace-backed kernel call, so only callers that fully consume
+        the block (running minima, argmin scans) may opt in.
     """
     if x.shape[1] != y.shape[1]:
         raise MetricError(
@@ -114,6 +223,7 @@ def sq_dists_block(
             y,
             None if x_sq is None else np.concatenate([x_sq, x_sq]),
             y_sq,
+            ws=ws,
         )
         return np.ascontiguousarray(out[:1])
     if y.shape[0] == 1 and x.shape[0] > 1:
@@ -125,6 +235,7 @@ def sq_dists_block(
             np.concatenate([y, y], axis=0),
             x_sq,
             None if y_sq is None else np.concatenate([y_sq, y_sq]),
+            ws=ws,
         )
         return np.ascontiguousarray(out[:, :1])
     if x_sq is None:
@@ -132,7 +243,10 @@ def sq_dists_block(
     if y_sq is None:
         y_sq = _sq_norms(y)
     # -2 x.y  +  |x|^2  +  |y|^2, accumulated in place on the GEMM output.
-    out = x @ y.T
+    if ws is None:
+        out = x @ y.T
+    else:
+        out = np.matmul(x, y.T, out=ws.take("gemm", (x.shape[0], y.shape[0])))
     out *= -2.0
     out += x_sq[:, None]
     out += y_sq[None, :]
@@ -190,13 +304,21 @@ def pairwise_dists(x: np.ndarray, y: np.ndarray) -> np.ndarray:
     return out
 
 
-def dists_to_point(x: np.ndarray, p: np.ndarray) -> np.ndarray:
+def dists_to_point(
+    x: np.ndarray, p: np.ndarray, ws: Workspace | None = None
+) -> np.ndarray:
     """Euclidean distances from every row of ``x`` to the single point ``p``.
 
     This is the inner step of Gonzalez's traversal; it is a single fused
-    vector pass with no temporary larger than ``x`` itself.
+    vector pass with no temporary larger than ``x`` itself — and that one
+    ``(n, d)`` difference temporary is recycled through the calling
+    thread's :class:`Workspace` (it is consumed by the reduction before
+    the call returns, so reuse cannot escape).  The returned vector is
+    always freshly allocated.
     """
-    diff = x - p[None, :]
+    ws = workspace() if ws is None else ws
+    diff = ws.take("diff", x.shape)
+    np.subtract(x, p[None, :], out=diff)
     out = np.einsum("ij,ij->i", diff, diff)
     np.sqrt(out, out=out)
     return out
@@ -207,6 +329,7 @@ def update_min_dists(
     x: np.ndarray,
     y: np.ndarray,
     block_bytes: int = DEFAULT_BLOCK_BYTES,
+    ws: Workspace | None = None,
 ) -> np.ndarray:
     """In-place ``current[i] = min(current[i], d(x[i], y))`` for all rows.
 
@@ -214,7 +337,10 @@ def update_min_dists(
     this folds a batch of new reference points ``y`` into it.  It is the
     workhorse of EIM's Round 3 (removal) and of incremental assignment.
     Work is blocked over both ``x`` and ``y`` so the temporary block stays
-    under ``block_bytes``.
+    under ``block_bytes``; every block temporary (GEMM output, row minima)
+    is recycled through the calling thread's :class:`Workspace` — each is
+    folded into ``current`` before the next block is computed, so reuse
+    never changes a bit.
 
     Returns ``current`` (modified in place) for chaining.
     """
@@ -226,16 +352,17 @@ def update_min_dists(
         )
     if y.shape[0] == 0:
         return current
+    ws = workspace() if ws is None else ws
     if y.shape[0] == 1:
-        np.minimum(current, dists_to_point(x, y[0]), out=current)
+        np.minimum(current, dists_to_point(x, y[0], ws=ws), out=current)
         return current
 
     y_sq = _sq_norms(y)
     x_chunk = resolve_chunk_size(y.shape[0], block_bytes=block_bytes)
     for sl in chunk_slices(x.shape[0], x_chunk):
         xb = x[sl]
-        sq = sq_dists_block(xb, y, y_sq=y_sq)
-        block_min = sq.min(axis=1)
+        sq = sq_dists_block(xb, y, y_sq=y_sq, ws=ws)
+        block_min = sq.min(axis=1, out=ws.take("rowmin", (sq.shape[0],)))
         np.sqrt(block_min, out=block_min)
         np.minimum(current[sl], block_min, out=current[sl])
     return current
@@ -245,15 +372,17 @@ def min_dists(
     x: np.ndarray,
     y: np.ndarray,
     block_bytes: int = DEFAULT_BLOCK_BYTES,
+    ws: Workspace | None = None,
 ) -> np.ndarray:
     """For each row of ``x``, the Euclidean distance to its nearest row of ``y``.
 
     ``y`` must be non-empty.  Equivalent to ``cdist(x, y).min(axis=1)`` but
-    with bounded memory.
+    with bounded memory (block temporaries recycled through the thread's
+    :class:`Workspace`; the returned vector is freshly allocated).
     """
     x = as_points(x, "x")
     y = as_points(y, "y")
     if y.shape[0] == 0:
         raise MetricError("min_dists requires a non-empty reference set y")
     out = np.full(x.shape[0], np.inf, dtype=np.float64)
-    return update_min_dists(out, x, y, block_bytes=block_bytes)
+    return update_min_dists(out, x, y, block_bytes=block_bytes, ws=ws)

@@ -20,7 +20,13 @@ Typical use::
 """
 
 from repro.solvers.config import UNSET, SHARED_KNOBS, SolveConfig
-from repro.solvers.facade import AlgorithmLike, BatchKey, solve, solve_many
+from repro.solvers.facade import (
+    AlgorithmLike,
+    BatchKey,
+    BatchResults,
+    solve,
+    solve_many,
+)
 from repro.solvers.registry import (
     REGISTRY,
     SolverRegistry,
@@ -38,6 +44,7 @@ __all__ = [
     "solve",
     "solve_many",
     "BatchKey",
+    "BatchResults",
     "AlgorithmLike",
     "SolveConfig",
     "SolverSpec",

@@ -10,7 +10,15 @@ so ``solve(space, k, algorithm="mrg", seed=0)`` is bit-identical to
 :class:`~repro.mapreduce.executor.Executor` protocol and returns a result
 map keyed by :class:`BatchKey`.  Each run's seed is fixed up-front, so the
 batch is deterministic regardless of executor (sequential vs process
-pool) and scheduling order.
+pool) and scheduling order.  The returned :class:`BatchResults` is a
+plain ``dict`` plus a ``summary`` roll-up
+(:class:`~repro.mapreduce.accounting.BatchSummary`: total distance
+evaluations, cache hits/misses, parallel vs cpu time across the batch).
+Pool backends are persistent, so back-to-back batches on one executor
+reuse its workers; for process backends the input space's in-memory
+coordinates are additionally published once per batch to shared memory
+(:func:`repro.store.shm.shared_space`) and workers attach by name
+instead of unpickling the rows per task.
 
 Both entry points accept more than a ready-made space: a coordinate
 array, a :class:`~repro.store.stream.PointStream`, a ``.npy`` file path,
@@ -36,14 +44,16 @@ from typing import Any, Iterable, Mapping, NamedTuple, Sequence, Union
 import repro.solvers.catalog  # noqa: F401  (side effect: populate REGISTRY)
 from repro.core.result import KCenterResult
 from repro.errors import InvalidParameterError
+from repro.mapreduce.accounting import BatchSummary
 from repro.mapreduce.executor import Executor, SequentialExecutor
 from repro.metric.base import DistCounter, MetricSpace
 from repro.solvers.config import SHARED_KNOBS, UNSET, SolveConfig
 from repro.solvers.registry import SolverSpec, get_solver
 from repro.store.cache import DistanceCache
+from repro.store.shm import shared_space
 from repro.store.space import SpaceLike, as_space
 
-__all__ = ["solve", "solve_many", "BatchKey", "AlgorithmLike"]
+__all__ = ["solve", "solve_many", "BatchKey", "BatchResults", "AlgorithmLike"]
 
 #: What :func:`solve_many` accepts per algorithm: a registry name/alias, a
 #: ``(name, options)`` pair, or a resolved :class:`SolverSpec`.
@@ -159,13 +169,42 @@ def solve(
     return spec.fn(space, config.k, **config.kwargs_for(spec))
 
 
+class BatchResults(dict):
+    """``{BatchKey: KCenterResult}`` plus a batch-level accounting roll-up.
+
+    Behaves exactly like the plain dict :func:`solve_many` used to
+    return; the extra :attr:`summary` is the merged
+    :class:`~repro.mapreduce.accounting.BatchSummary` of the whole batch
+    (total dist_evals, cache hits/misses, parallel vs cpu time).
+    """
+
+    def __init__(self, items, summary: BatchSummary):
+        super().__init__(items)
+        self.summary = summary
+
+
+class _RunOutput(NamedTuple):
+    """One batch task's result plus its run-private accounting.
+
+    The counter a run evaluates distances into lives wherever the task
+    ran — possibly a worker process — so its totals travel back in the
+    task's return value, exactly like the reducer tasks'
+    :class:`~repro.mapreduce.cluster.TaskOutput`.
+    """
+
+    result: KCenterResult
+    dist_evals: int
+    cache_hits: int
+    cache_misses: int
+
+
 def _run_one(
     space: MetricSpace,
     k: int,
     name: str,
     kwargs: dict,
     cache: DistanceCache | None = None,
-) -> KCenterResult:
+) -> _RunOutput:
     """Top-level runner so batch tasks stay picklable for process pools.
 
     The run gets a shallow copy of the space with a *private*
@@ -191,7 +230,10 @@ def _run_one(
     else:
         task_space = copy.copy(space)
         task_space.counter = counter
-    return get_solver(name).fn(task_space, k, **kwargs)
+    result = get_solver(name).fn(task_space, k, **kwargs)
+    return _RunOutput(
+        result, counter.evals, counter.cache_hits, counter.cache_misses
+    )
 
 
 def _normalise_algorithms(
@@ -235,8 +277,12 @@ def solve_many(
     capacity: Any = UNSET,
     evaluate: Any = UNSET,
     **options: Any,
-) -> dict[BatchKey, KCenterResult]:
+) -> BatchResults:
     """Run an (algorithms x seeds) batch; return ``{BatchKey: result}``.
+
+    The returned mapping is a :class:`BatchResults` — an ordinary dict
+    whose extra ``summary`` attribute carries the batch's merged
+    accounting (:class:`~repro.mapreduce.accounting.BatchSummary`).
 
     Parameters
     ----------
@@ -265,7 +311,12 @@ def solve_many(
         matrix instead of re-deriving distances per run; results and
         per-run accounting are unchanged (see the cache's module docs).
         Pass the same instance across several ``solve_many`` calls on
-        the same space object to share the matrix batch-to-batch.
+        the same space object to share the matrix batch-to-batch.  The
+        cache lives in the driver process: sequential and thread
+        fan-outs share it, but process-pool tasks unpickle a private
+        snapshot each — no cross-run reuse, and the batch summary's
+        ``cache_hits``/``cache_misses`` honestly record that.  Results
+        are identical either way; only the reuse is.
     chunk_size:
         Chunk rows when ``space`` is a file path, stream or array to be
         solved out-of-core (see :func:`solve`).
@@ -304,6 +355,7 @@ def solve_many(
             "per-entry options dict"
         )
 
+    backend = executor if executor is not None else SequentialExecutor()
     keys: list[BatchKey] = []
     tasks = []
     for spec, entry_opts in entries:
@@ -343,17 +395,27 @@ def solve_many(
                     "(algorithm, seed) pair at most once"
                 )
             keys.append(key)
-            tasks.append(
-                partial(
-                    _run_one,
-                    space,
-                    config.k,
-                    spec.name,
-                    config.kwargs_for(spec),
-                    cache,
-                )
-            )
+            tasks.append((config.k, spec.name, config.kwargs_for(spec)))
 
-    backend = executor if executor is not None else SequentialExecutor()
-    results, _times = backend.run(tasks)
-    return dict(zip(keys, results))
+    # Publish the space once per batch when the fan-out crosses a process
+    # boundary: every task then pickles a shared-memory handle instead of
+    # the coordinate rows (no-op for sequential/thread backends and
+    # out-of-core spaces, which already cross by reference).
+    with shared_space(space, backend) as task_space:
+        outputs, times = backend.run(
+            [partial(_run_one, task_space, *args, cache) for args in tasks]
+        )
+
+    summary = BatchSummary(runs=len(outputs))
+    for out in outputs:
+        summary.dist_evals += out.dist_evals
+        summary.cache_hits += out.cache_hits
+        summary.cache_misses += out.cache_misses
+        stats = out.result.stats
+        if stats is not None:
+            summary.solver_rounds += stats.n_rounds
+    summary.parallel_time = max(times, default=0.0)
+    summary.cpu_time = float(sum(times))
+    return BatchResults(
+        zip(keys, (out.result for out in outputs)), summary
+    )

@@ -26,6 +26,11 @@ arrays are the one thing the rest of the package assumed to be resident.
     Shared small-space distance matrices for repeated-space batches
     (``solve_many(..., cache=...)``), keyed on content fingerprints so
     equal spaces share entries across re-instantiations.
+:func:`~repro.store.shm.shared_space` / :class:`~repro.store.shm.SharedPoints`
+    Zero-copy transport of *in-memory* spaces into process-pool
+    workers: coordinates published once to ``multiprocessing``
+    shared memory (temp-``.npy`` spill fallback), workers attach by
+    name instead of unpickling the rows per task.
 
 Typical use::
 
@@ -40,6 +45,7 @@ Typical use::
 from repro.store.cache import DistanceCache
 from repro.store.generate import DEFAULT_GEN_BLOCK, GeneratorStream
 from repro.store.sharded import ShardedStream, write_shards
+from repro.store.shm import SharedPoints, publish_points, shared_space
 from repro.store.space import ChunkedMetricSpace, as_space, machine_view
 from repro.store.stream import (
     ArrayStream,
@@ -60,9 +66,12 @@ __all__ = [
     "ShardedStream",
     "ChunkedMetricSpace",
     "DistanceCache",
+    "SharedPoints",
     "as_stream",
     "as_space",
     "machine_view",
+    "publish_points",
+    "shared_space",
     "write_shards",
     "write_npy",
     "default_chunk_rows",

@@ -41,7 +41,7 @@ import numpy as np
 
 from repro.errors import MetricError
 from repro.metric import kernels
-from repro.metric.base import DistCounter, MetricSpace
+from repro.metric.base import DistCounter, MetricSpace, TaskCounter
 from repro.metric.euclidean import EuclideanSpace, kernels_fingerprint
 from repro.store.stream import PointStream, SliceStream, StreamLike, as_stream
 from repro.utils.chunking import DEFAULT_BLOCK_BYTES, chunk_slices, resolve_chunk_size
@@ -328,6 +328,7 @@ class ChunkedMetricSpace(MetricSpace):
             # than kernels.update_min_dists, whose 1-row fused shortcut
             # would give a 1-row trailing chunk different bits than the
             # same column inside the in-memory space's whole-set GEMM.
+            ws = kernels.workspace()  # blocks are folded before reuse
             for b in range(self.stream.n_chunks):
                 y, y_sq = self._chunk(b)
                 for out_sl, x, x_sq in self._x_segments(i_idx):
@@ -336,8 +337,8 @@ class ChunkedMetricSpace(MetricSpace):
                         y.shape[0], block_bytes=self.block_bytes
                     )
                     for sl in chunk_slices(x.shape[0], x_rows):
-                        sq = kernels.sq_dists_block(x[sl], y, x_sq[sl], y_sq)
-                        block_min = sq.min(axis=1)
+                        sq = kernels.sq_dists_block(x[sl], y, x_sq[sl], y_sq, ws=ws)
+                        block_min = sq.min(axis=1, out=ws.take("rowmin", (sq.shape[0],)))
                         np.sqrt(block_min, out=block_min)
                         np.minimum(cur[sl], block_min, out=cur[sl])
             return current
@@ -366,13 +367,15 @@ class ChunkedMetricSpace(MetricSpace):
         pos = np.empty(n_i, dtype=np.intp)
         dist = np.empty(n_i, dtype=np.float64)
 
+        ws = kernels.workspace()  # blocks are argmin-consumed before reuse
+
         def _scan(out_sl, x, x_sq, y, y_sq):
             """Positions/dists within one reference block (the in-memory
             space's inner loop, over gathered or chunked queries)."""
             x_chunk = resolve_chunk_size(y.shape[0], block_bytes=self.block_bytes)
             p_out, d_out = pos[out_sl], dist[out_sl]
             for sl in chunk_slices(x.shape[0], x_chunk):
-                sq = kernels.sq_dists_block(x[sl], y, x_sq[sl], y_sq)
+                sq = kernels.sq_dists_block(x[sl], y, x_sq[sl], y_sq, ws=ws)
                 p = sq.argmin(axis=1)
                 p_out[sl] = p
                 d = sq[np.arange(sq.shape[0]), p]
@@ -399,7 +402,7 @@ class ChunkedMetricSpace(MetricSpace):
                     y.shape[0], block_bytes=self.block_bytes
                 )
                 for sl in chunk_slices(x.shape[0], x_chunk):
-                    sq = kernels.sq_dists_block(x[sl], y, x_sq[sl], y_sq)
+                    sq = kernels.sq_dists_block(x[sl], y, x_sq[sl], y_sq, ws=ws)
                     p = sq.argmin(axis=1)
                     d = sq[np.arange(sq.shape[0]), p]
                     better = d < b_sq[sl]
@@ -432,13 +435,15 @@ def machine_view(
     slice — the sharded-input fast path, where the driver never gathers
     coordinate data); any other combination materialises via
     :meth:`~repro.metric.base.MetricSpace.local`.  Either way the view
-    gets its own :class:`~repro.metric.base.DistCounter` (``counter`` or
-    a fresh one) instead of sharing the parent's, so a reducer task can
-    run anywhere — including a process-pool worker — and report its
-    evaluation count back explicitly.  Results are bit-identical between
-    the two paths (the store layer's parity contract).
+    gets its own private counter (``counter``, or a fresh lock-free
+    :class:`~repro.metric.base.TaskCounter` — the view is owned by one
+    reducer task, so per-block locking buys nothing) instead of sharing
+    the parent's, so a reducer task can run anywhere — including a
+    process-pool worker — and report its evaluation count back
+    explicitly, one locked fold per task.  Results are bit-identical
+    between the two paths (the store layer's parity contract).
     """
-    counter = DistCounter() if counter is None else counter
+    counter = TaskCounter() if counter is None else counter
     idx = np.asarray(idx, dtype=np.intp)
     if (
         isinstance(space, ChunkedMetricSpace)

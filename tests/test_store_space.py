@@ -191,8 +191,10 @@ class TestBoundedMemory:
         tracemalloc.stop()
 
         assert 0 < result.n_centers <= 8 and result.radius > 0
-        # generous bound: chunks + 1-D temporaries only, never (n, d)
-        assert peak < full_bytes / 2, f"peak {peak} vs full array {full_bytes}"
+        # generous bound: chunks, 1-D temporaries and the kernels' retained
+        # per-thread Workspace scratch (O(block_bytes), not O(n d)) —
+        # never the (n, d) array itself.
+        assert peak < 0.6 * full_bytes, f"peak {peak} vs full array {full_bytes}"
 
     def test_as_space_array_stays_in_memory(self, points):
         assert isinstance(as_space(points), EuclideanSpace)
