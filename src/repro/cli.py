@@ -12,6 +12,8 @@ Examples
     repro-kcenter solve stream --k 25 --data points.npy
     repro-kcenter solve mr_hs --k 25 --data shards/
     repro-kcenter solve mrg --k 25 --n 200000 --shards 8
+    repro-kcenter serve --backend thread --pool-size 4
+    repro-kcenter solve gon --k 10 --connect 127.0.0.1:7227
     repro-kcenter run table3
     repro-kcenter run figure2a --scale paper
     repro-kcenter run table6 --m 50 --seed 7
@@ -28,6 +30,12 @@ solves a sharded directory, and ``--shards N`` shards a generated
 dataset (or a ``.npy`` file) on the fly — the MapReduce solvers then run
 each reducer against a per-shard view, never gathering the full
 coordinate array.
+``serve`` boots the :mod:`repro.serve` job server — a long-lived daemon
+holding one warm executor pool, answering newline-delimited-JSON solve
+requests over TCP — and ``solve --connect HOST:PORT`` turns the ``solve``
+subcommand into a client of one: the dataset is generated (or the
+``--data`` path forwarded) and shipped to the server, and the printed
+result comes off the wire, bit-identical to the local run.
 ``run`` reproduces a paper experiment; its output is the paper-layout
 table (or ASCII chart) plus, where the paper published numbers, a
 side-by-side comparison and the qualitative shape checks from
@@ -203,11 +211,112 @@ def _print_solver_registry() -> None:
         print(f"  {spec.name:<6} {spec.summary}")
 
 
+def _run_remote_solve(args: argparse.Namespace, spec) -> int:
+    """``solve --connect``: ship the request to a running job server."""
+    from repro.serve import ServeClient, parse_hostport
+
+    if args.shards is not None:
+        raise InvalidParameterError(
+            "--shards shards locally; with --connect, point --data at a "
+            "server-visible sharded directory instead"
+        )
+    host, port = parse_hostport(args.connect)
+    options = dict(args.opt)
+    if args.m is not None:
+        options["m"] = args.m
+    if args.capacity is not None:
+        options["capacity"] = args.capacity
+    if args.no_evaluate:
+        options["evaluate"] = False
+    points = data = None
+    if args.data is not None:
+        data = args.data
+        source = f"{args.data} @ {host}:{port}"
+    else:
+        data_seed = args.data_seed if args.data_seed is not None else args.seed
+        dataset = make_dataset(args.dataset, args.n, seed=data_seed)
+        points = dataset.points
+        source = f"{args.dataset} @ {host}:{port}"
+        if not args.quiet:
+            _progress(f"{args.dataset}: n={dataset.n}, dim={dataset.dim} "
+                      f"(sent inline to {host}:{port})")
+    if not args.quiet:
+        _progress(f"requesting {spec.name}, k={args.k} from {host}:{port}")
+    with ServeClient(host, port) as client:
+        response = client.solve(
+            spec.name, args.k, points=points, data=data,
+            seed=args.seed, options=options,
+        )
+    result = response["result"]
+    accounting = response.get("accounting", {})
+    n = len(points) if points is not None else "?"
+    rows = [[key, format_value(value)] for key, value in result.items()]
+    rows += [
+        [f"serve.{key}", format_value(value)]
+        for key, value in accounting.items()
+        if key != "summary"
+    ]
+    print(
+        format_table(
+            ["field", "value"],
+            rows,
+            title=f"{result['algorithm']} on {source} (n={n}, k={args.k})",
+        )
+    )
+    return 0
+
+
+def _run_serve_command(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import KCenterServer, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        backend=args.backend,
+        pool_size=args.pool_size,
+        max_queue=args.max_queue,
+        max_inflight=args.max_inflight,
+        max_points=args.max_points,
+        cache_points=args.cache_points,
+        default_timeout=args.timeout,
+    )
+
+    async def main() -> None:
+        server = KCenterServer(config)
+        host, port = await server.start()
+        pool = config.pool_size if config.pool_size is not None else "auto"
+        print(
+            f"repro-kcenter serve: listening on {host}:{port} "
+            f"(backend={config.backend}, pool={pool}, "
+            f"max_points={config.max_points}, cache_points={config.cache_points})",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            # Best-effort drain; on Ctrl-C the surrounding asyncio.run is
+            # already cancelling us, so a second interrupt just exits.
+            try:
+                await asyncio.shield(server.stop())
+            except asyncio.CancelledError:
+                pass
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("repro-kcenter serve: interrupted, shutting down", file=sys.stderr)
+    return 0
+
+
 def _run_solve_command(args: argparse.Namespace) -> int:
     if args.algorithm == "list":
         _print_solver_registry()
         return 0
     spec = get_solver(args.algorithm)  # fail fast, before generating data
+    if args.connect is not None:
+        return _run_remote_solve(args, spec)
     flags = {"m": "--m", "capacity": "--capacity", "seed": "--seed",
              "evaluate": "--no-evaluate"}
     for key, _ in args.opt:
@@ -368,6 +477,45 @@ def main(argv: list[str] | None = None) -> int:
     )
     solve_cmd.add_argument("--quiet", action="store_true",
                            help="suppress progress lines")
+    solve_cmd.add_argument(
+        "--connect", metavar="HOST:PORT", default=None,
+        help="send the request to a running job server (repro-kcenter "
+             "serve) instead of solving in-process; --data paths must be "
+             "visible to the server, generated datasets are sent inline",
+    )
+    from repro.serve.scheduler import BACKENDS as _SERVE_BACKENDS
+
+    serve_cmd = sub.add_parser(
+        "serve", help="run the clustering job server (newline-JSON over TCP)"
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1",
+                           help="bind address (default: 127.0.0.1)")
+    serve_cmd.add_argument("--port", type=int, default=7227,
+                           help="bind port; 0 picks an ephemeral port")
+    serve_cmd.add_argument(
+        "--backend", choices=list(_SERVE_BACKENDS), default="thread",
+        help="executor the warm pool runs on (default: thread)",
+    )
+    serve_cmd.add_argument(
+        "--pool-size", type=int, default=None,
+        help="worker count of the warm pool (default: backend's choice)",
+    )
+    serve_cmd.add_argument("--max-queue", type=int, default=256,
+                           help="admission cap on outstanding requests")
+    serve_cmd.add_argument("--max-inflight", type=int, default=4,
+                           help="concurrent coalesced batches on the pool")
+    serve_cmd.add_argument("--max-points", type=int, default=200_000,
+                           help="largest admissible request (points)")
+    serve_cmd.add_argument(
+        "--cache-points", type=int, default=0,
+        help="enable the shared distance cache for spaces up to this many "
+             "points (0 = off, the bit-exact default)",
+    )
+    serve_cmd.add_argument(
+        "--timeout", type=float, default=None,
+        help="default per-request deadline in seconds (requests may "
+             "override; default: none)",
+    )
     run = sub.add_parser("run", help="run one experiment and print its table/figure")
     run.add_argument("experiment", choices=sorted(EXPERIMENT_IDS))
     run.add_argument("--scale", choices=["default", "paper"], default=None,
@@ -382,10 +530,17 @@ def main(argv: list[str] | None = None) -> int:
             print(exp)
         return 0
 
+    if args.command == "serve":
+        try:
+            return _run_serve_command(args)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
     if args.command == "solve":
         try:
             return _run_solve_command(args)
-        except ReproError as exc:
+        except (ReproError, ConnectionError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         except TypeError as exc:

@@ -18,7 +18,9 @@ machines").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import dataclass, field, fields
+from typing import Iterable, Mapping
 
 __all__ = ["RoundStats", "JobStats", "BatchSummary"]
 
@@ -154,3 +156,45 @@ class BatchSummary:
             "cache_misses": self.cache_misses,
             "solver_rounds": self.solver_rounds,
         }
+
+    # ------------------------------------------------------------------ #
+    # wire form: the summary rides back per response over repro.serve
+    # ------------------------------------------------------------------ #
+    to_dict = summary
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "BatchSummary":
+        """Rebuild from a :meth:`summary`/:meth:`to_dict` mapping.
+
+        Unknown keys are ignored (a newer server may report fields an
+        older client does not know); missing keys keep their defaults.
+        """
+        known = {f.name for f in fields(cls)}
+        return cls(**{key: data[key] for key in known if key in data})
+
+    def to_json(self) -> str:
+        """Compact JSON form — ``from_json`` round-trips it exactly."""
+        return json.dumps(self.summary(), separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, payload: str) -> "BatchSummary":
+        return cls.from_dict(json.loads(payload))
+
+    @classmethod
+    def merged(cls, parts: Iterable["BatchSummary"]) -> "BatchSummary":
+        """Fold per-run summaries into one batch summary.
+
+        Counts sum; ``parallel_time`` is the slowest part (what a fully
+        parallel fan-out pays) while ``cpu_time`` sums, mirroring
+        :class:`JobStats`.
+        """
+        total = cls()
+        for part in parts:
+            total.runs += part.runs
+            total.parallel_time = max(total.parallel_time, part.parallel_time)
+            total.cpu_time += part.cpu_time
+            total.dist_evals += part.dist_evals
+            total.cache_hits += part.cache_hits
+            total.cache_misses += part.cache_misses
+            total.solver_rounds += part.solver_rounds
+        return total

@@ -1,0 +1,399 @@
+"""Admission control and batch coalescing over one warm executor.
+
+The scheduler is the serving layer's core loop, and it is deliberately a
+thin consumer of machinery that already exists:
+
+* **one persistent executor** (:mod:`repro.mapreduce.executor`) is opened
+  at startup and reused by every batch — the PR-5 engine contract (pool
+  spawned once, shared-memory space transport for process workers);
+* queued requests are **coalesced** into heterogeneous
+  :func:`repro.solve_many` batches: requests sharing a ``space_key``
+  (content fingerprint for inline points, resolved path for on-disk
+  data) become entries of one fan-out, each with its own ``k`` / seed /
+  options and its own exact accounting (``BatchResults.run_summaries``);
+* repeated small spaces are deduped through a long-lived
+  :class:`~repro.store.cache.DistanceCache` (opt-in, byte-bounded), so a
+  burst of requests over one hot dataset pays its O(n^2) matrix once;
+* **admission control** caps outstanding requests (``max_queue``),
+  concurrent batch dispatches (``max_inflight``) and request size
+  (``max_points``) — over-limit submissions raise a structured
+  :class:`~repro.serve.protocol.ServeError` instead of queueing unbounded
+  work or crashing the loop.
+
+Cancellation is cooperative and cheap: a request whose asyncio future is
+cancelled (client gone, deadline passed) is dropped at dispatch time if
+it is still queued; if its batch is already running, the batch completes
+on the pool — workers are never killed mid-task, so the shared pool
+cannot be poisoned — and the orphaned result is discarded.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import InvalidParameterError
+from repro.mapreduce.executor import (
+    ProcessPoolExecutorBackend,
+    SequentialExecutor,
+    ThreadPoolExecutorBackend,
+)
+from repro.serve.protocol import (
+    E_INTERNAL,
+    E_OVERLOADED,
+    E_SHUTTING_DOWN,
+    E_TOO_LARGE,
+    ServeError,
+    SolveRequest,
+)
+from repro.solvers.facade import BatchKey, solve_many
+from repro.store.cache import DistanceCache
+
+__all__ = ["ServeConfig", "BatchScheduler", "BACKENDS"]
+
+#: Executor backends the server can host, by CLI/config name.
+BACKENDS = ("sequential", "thread", "process")
+
+
+@dataclass
+class ServeConfig:
+    """Everything a server/scheduler pair needs, in one picklable bag.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; port ``0`` asks the OS for an ephemeral port (the
+        bound address is reported by :meth:`KCenterServer.start`).
+    backend, pool_size:
+        The one warm executor every batch runs on: ``"thread"``
+        (default; BLAS kernels overlap, zero pickling), ``"process"``
+        (true multicore; spaces cross via shared memory) or
+        ``"sequential"``.
+    max_queue:
+        Admission cap on *outstanding* requests (queued + inflight).
+    max_inflight:
+        Concurrent coalesced batches in flight on the executor.
+    max_points:
+        Largest admissible request (points per space).
+    max_batch, batch_window:
+        Coalescing shape: after the first pending request, wait up to
+        ``batch_window`` seconds for company, then dispatch at most
+        ``max_batch`` requests grouped by space.
+    cache_points, cache_entries, cache_bytes:
+        The shared :class:`DistanceCache`.  ``cache_points=0`` (default)
+        disables it — the cache serves matrix-backed views whose
+        distances can differ from on-demand kernels in the last float
+        bit, so the default server config keeps strict bit-parity with
+        direct ``solve()`` calls; enable it for throughput on repeated
+        small spaces.
+    default_timeout:
+        Per-request deadline (seconds) when the request carries none.
+    max_line_bytes:
+        Wire-framing cap: one request line may be this long at most.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    backend: str = "thread"
+    pool_size: int | None = None
+    max_queue: int = 256
+    max_inflight: int = 4
+    max_points: int = 200_000
+    max_batch: int = 64
+    batch_window: float = 0.002
+    cache_points: int = 0
+    cache_entries: int = 8
+    cache_bytes: int | None = 512 * 1024 * 1024
+    default_timeout: float | None = None
+    max_line_bytes: int = 64 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise InvalidParameterError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        for name in ("max_queue", "max_inflight", "max_points", "max_batch"):
+            if int(getattr(self, name)) < 1:
+                raise InvalidParameterError(
+                    f"{name} must be >= 1, got {getattr(self, name)!r}"
+                )
+
+    def make_executor(self):
+        if self.backend == "sequential":
+            return SequentialExecutor()
+        if self.backend == "thread":
+            return ThreadPoolExecutorBackend(max_workers=self.pool_size)
+        return ProcessPoolExecutorBackend(max_workers=self.pool_size)
+
+    def make_cache(self) -> DistanceCache | None:
+        if not self.cache_points:
+            return None
+        return DistanceCache(
+            max_points=self.cache_points,
+            max_entries=self.cache_entries,
+            max_bytes=self.cache_bytes,
+        )
+
+
+class _Pending:
+    """One admitted request waiting for (or riding in) a batch."""
+
+    __slots__ = ("request", "future", "enqueued")
+
+    def __init__(self, request: SolveRequest, future: asyncio.Future):
+        self.request = request
+        self.future = future
+        self.enqueued = time.perf_counter()
+
+
+class BatchScheduler:
+    """Coalesce admitted requests into ``solve_many`` batches on one pool.
+
+    Owns the warm executor, the (optional) distance cache, the pending
+    queue and the dispatch thread pool.  Must be created and driven from
+    inside a running asyncio event loop (:meth:`start`); submissions and
+    result delivery all happen on that loop, while the batches themselves
+    run on dispatch threads so the loop never blocks on a solve.
+    """
+
+    def __init__(self, config: ServeConfig):
+        self.config = config
+        self._loop = asyncio.get_running_loop()
+        self._executor = config.make_executor()
+        self.cache = config.make_cache()
+        self._queue: list[_Pending] = []
+        self._wakeup = asyncio.Event()
+        self._inflight = asyncio.Semaphore(config.max_inflight)
+        self._dispatch_pool = ThreadPoolExecutor(
+            max_workers=config.max_inflight,
+            thread_name_prefix="repro-serve-batch",
+        )
+        self._pending = 0  # admitted and not yet answered/abandoned
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._closed = False
+        self._batcher: asyncio.Task | None = None
+        self._group_tasks: set[asyncio.Task] = set()
+        self._ids = itertools.count(1)
+        # counters for the stats op / bench
+        self.received = 0
+        self.answered = 0
+        self.rejected = 0
+        self.failed = 0
+        self.abandoned = 0
+        self.batches = 0
+        self.coalesced_requests = 0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Open the warm pool eagerly and start the batcher task."""
+        if hasattr(self._executor, "open"):
+            self._executor.open()
+        self._batcher = self._loop.create_task(
+            self._run(), name="repro-serve-batcher"
+        )
+
+    async def drain(self) -> None:
+        """Stop admitting, finish every admitted request, release pools.
+
+        The clean-shutdown contract: everything already admitted gets a
+        real answer (result or structured error) before the executor and
+        dispatch pool close.  Idempotent.
+        """
+        self._closed = True
+        self._wakeup.set()  # let the batcher observe the flag even if idle
+        await self._idle.wait()
+        if self._batcher is not None:
+            self._batcher.cancel()
+            try:
+                await self._batcher
+            except asyncio.CancelledError:
+                pass
+            self._batcher = None
+        for task in list(self._group_tasks):
+            await task
+        self._dispatch_pool.shutdown(wait=True)
+        if hasattr(self._executor, "close"):
+            self._executor.close()
+
+    def next_id(self) -> str:
+        """A server-assigned request id (used when the client sent none)."""
+        return f"r{next(self._ids)}"
+
+    # ------------------------------------------------------------------ #
+    # admission
+    # ------------------------------------------------------------------ #
+    def submit(self, request: SolveRequest) -> asyncio.Future:
+        """Admit one request; returns the future its response resolves.
+
+        Raises :class:`ServeError` (``shutting-down`` / ``overloaded`` /
+        ``too-large``) instead of queueing inadmissible work.
+        """
+        self.received += 1
+        if self._closed:
+            self.rejected += 1
+            raise ServeError(E_SHUTTING_DOWN, "server is draining; resubmit later")
+        if self._pending >= self.config.max_queue:
+            self.rejected += 1
+            raise ServeError(
+                E_OVERLOADED,
+                f"{self._pending} requests outstanding, at the max_queue "
+                f"cap of {self.config.max_queue}; retry later",
+            )
+        if request.space.n > self.config.max_points:
+            self.rejected += 1
+            raise ServeError(
+                E_TOO_LARGE,
+                f"request has {request.space.n} points, over the admission "
+                f"cap of {self.config.max_points}",
+            )
+        future = self._loop.create_future()
+        self._queue.append(_Pending(request, future))
+        self._pending += 1
+        self._idle.clear()
+        self._wakeup.set()
+        return future
+
+    def _settle(self, count: int) -> None:
+        self._pending -= count
+        if self._pending <= 0:
+            self._pending = 0
+            self._idle.set()
+
+    # ------------------------------------------------------------------ #
+    # the batcher loop
+    # ------------------------------------------------------------------ #
+    async def _run(self) -> None:
+        while True:
+            await self._wakeup.wait()
+            self._wakeup.clear()
+            if not self._queue:
+                continue
+            # Give a burst a moment to pile up, then cut one batch.
+            if self.config.batch_window > 0 and not self._closed:
+                await asyncio.sleep(self.config.batch_window)
+            batch = self._queue[: self.config.max_batch]
+            del self._queue[: len(batch)]
+            if self._queue:
+                self._wakeup.set()  # more work already waiting
+
+            live: list[_Pending] = []
+            dropped = 0
+            for pending in batch:
+                if pending.future.cancelled():
+                    dropped += 1
+                else:
+                    live.append(pending)
+            if dropped:
+                self.abandoned += dropped
+                self._settle(dropped)
+            for group in self._group_by_space(live):
+                # Backpressure: at most max_inflight batches on the pool.
+                await self._inflight.acquire()
+                task = self._loop.create_task(self._dispatch(group))
+                self._group_tasks.add(task)
+                task.add_done_callback(self._group_tasks.discard)
+
+    @staticmethod
+    def _group_by_space(batch: Sequence[_Pending]) -> list[list[_Pending]]:
+        """Split one cut of the queue into per-space coalesced groups."""
+        groups: dict[object, list[_Pending]] = {}
+        for pending in batch:
+            groups.setdefault(pending.request.space_key, []).append(pending)
+        return list(groups.values())
+
+    async def _dispatch(self, group: list[_Pending]) -> None:
+        try:
+            # A client may have vanished between grouping and dispatch.
+            live = [p for p in group if not p.future.cancelled()]
+            skipped = len(group) - len(live)
+            if skipped:
+                self.abandoned += skipped
+                self._settle(skipped)
+            if not live:
+                return
+            self.batches += 1
+            if len(live) > 1:
+                self.coalesced_requests += len(live)
+            started = time.perf_counter()
+            try:
+                batch = await self._loop.run_in_executor(
+                    self._dispatch_pool, self._solve_group, live
+                )
+            except Exception as exc:  # noqa: BLE001 - answered, not crashed
+                error = ServeError(
+                    E_INTERNAL, f"batch failed: {type(exc).__name__}: {exc}"
+                )
+                for pending in live:
+                    if not pending.future.cancelled():
+                        pending.future.set_exception(error)
+                    else:
+                        self.abandoned += 1
+                self.failed += len(live)
+                self._settle(len(live))
+                return
+            batch_seconds = time.perf_counter() - started
+            for pending in live:
+                key = BatchKey(pending.request.id, pending.request.seed)
+                if pending.future.cancelled():
+                    self.abandoned += 1
+                    continue
+                pending.future.set_result(
+                    {
+                        "result": batch[key],
+                        "summary": batch.run_summaries[key],
+                        "queue_s": started - pending.enqueued,
+                        "batch_s": batch_seconds,
+                        "batch_runs": len(live),
+                    }
+                )
+                self.answered += 1
+            self._settle(len(live))
+        finally:
+            self._inflight.release()
+
+    def _solve_group(self, group: list[_Pending]):
+        """One coalesced group as a heterogeneous ``solve_many`` batch.
+
+        Runs on a dispatch thread.  Every request becomes one entry with
+        its own ``k``/seed/options, labelled by request id (ids are
+        unique, so keys cannot collide); ``seeds=None`` selects the
+        facade's entry-owned seeding mode.  The shared warm executor
+        fans the runs out; the shared cache dedupes repeated spaces.
+        """
+        space = group[0].request.space
+        entries = [pending.request.entry() for pending in group]
+        return solve_many(
+            space,
+            group[0].request.k,
+            entries,
+            seeds=None,
+            executor=self._executor,
+            cache=self.cache,
+        )
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        """Counters for the ``stats`` op and the load bench."""
+        out = {
+            "backend": self.config.backend,
+            "pool_size": self.config.pool_size,
+            "received": self.received,
+            "answered": self.answered,
+            "rejected": self.rejected,
+            "failed": self.failed,
+            "abandoned": self.abandoned,
+            "batches": self.batches,
+            "coalesced_requests": self.coalesced_requests,
+            "pending": self._pending,
+            "draining": self._closed,
+        }
+        if self.cache is not None:
+            out["cache"] = self.cache.stats()
+        return out

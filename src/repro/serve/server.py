@@ -1,0 +1,343 @@
+"""The asyncio front-end of the ``repro.serve`` job server.
+
+:class:`KCenterServer` owns one TCP listener and one
+:class:`~repro.serve.scheduler.BatchScheduler`.  Connections are cheap:
+each is a single reader loop that parses newline-delimited JSON and
+spawns one asyncio task per ``solve`` request, so clients can pipeline —
+many requests in flight on one socket — and slow solves never block the
+socket for ``ping``/``stats`` or each other.  Responses are written under
+a per-connection lock and matched to requests by the echoed ``id``.
+
+Failure containment is the design rule: every per-request problem — bad
+JSON, unknown algorithm, admission rejection, timeout, even an internal
+batch failure — becomes a structured error *response* on the wire.  Only
+a poisoned stream framing (an over-long line) closes the connection, and
+a client disconnect simply cancels that connection's outstanding request
+tasks: the scheduler drops still-queued requests and lets dispatched
+batches finish on the pool, so one vanished client cannot poison the
+shared executor for everyone else.
+
+:class:`ServerHandle` runs the whole server on a private event-loop
+thread, giving synchronous code (tests, the CLI, benchmarks) a real
+served endpoint with ``with ServerHandle() as handle: ...`` ergonomics —
+the handle's ``close`` performs the full drain (stop accepting, answer
+everything admitted, release the pools).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.serve.protocol import (
+    E_BAD_REQUEST,
+    E_INTERNAL,
+    E_LINE_TOO_LONG,
+    E_TIMEOUT,
+    PROTOCOL_VERSION,
+    ServeError,
+    decode_line,
+    encode,
+    error_response,
+    ok_response,
+    parse_solve_request,
+)
+from repro.serve.scheduler import BatchScheduler, ServeConfig
+from repro.solvers.registry import solver_names
+
+__all__ = ["KCenterServer", "ServerHandle"]
+
+
+class KCenterServer:
+    """One listener + one scheduler; drive with :meth:`start`/:meth:`stop`.
+
+    Must be started from inside a running event loop (use
+    :class:`ServerHandle` from synchronous code).  ``start`` opens the
+    warm executor pool and binds the socket; ``stop`` closes the listener,
+    drains every admitted request to a real response, then releases the
+    pools.
+    """
+
+    def __init__(self, config: ServeConfig | None = None):
+        self.config = config or ServeConfig()
+        self.scheduler: BatchScheduler | None = None
+        self.address: tuple[str, int] | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._request_tasks: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> tuple[str, int]:
+        """Bind and begin accepting; returns the bound ``(host, port)``."""
+        self.scheduler = BatchScheduler(self.config)
+        self.scheduler.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.config.host,
+            self.config.port,
+            limit=self.config.max_line_bytes,
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+        return self.address
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "start() first"
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drain, release the pools."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self.scheduler is not None:
+            # Everything admitted resolves (result or error) in here ...
+            await self.scheduler.drain()
+        # ... and the tasks holding those resolved futures flush their
+        # response lines before the loop is allowed to die.
+        if self._request_tasks:
+            await asyncio.gather(*self._request_tasks, return_exceptions=True)
+
+    # ------------------------------------------------------------------ #
+    # connection handling
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        lock = asyncio.Lock()  # response lines must not interleave
+        tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # Over-long line: the framing is poisoned, so this is
+                    # the one failure that closes the connection.
+                    await self._send(
+                        writer,
+                        lock,
+                        error_response(
+                            None,
+                            ServeError(
+                                E_LINE_TOO_LONG,
+                                f"request line exceeds the "
+                                f"{self.config.max_line_bytes}-byte frame "
+                                f"cap; closing connection",
+                            ),
+                        ),
+                    )
+                    break
+                if not line:
+                    break  # client closed its end
+                if not line.strip():
+                    continue
+                await self._handle_line(line, writer, lock, tasks)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-line; cleanup below
+        finally:
+            # Disconnect cancels this connection's outstanding requests:
+            # queued ones are dropped at dispatch, running batches finish
+            # on the pool and their orphaned results are discarded.
+            for task in tasks:
+                task.cancel()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_line(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+        tasks: set[asyncio.Task],
+    ) -> None:
+        try:
+            payload = decode_line(line)
+        except ServeError as exc:
+            await self._send(writer, lock, error_response(None, exc))
+            return
+        wire_id = payload.get("id")
+        wire_id = str(wire_id) if wire_id is not None else None
+        op = payload.get("op", "solve")
+        if op == "ping":
+            await self._send(
+                writer,
+                lock,
+                {
+                    "id": wire_id,
+                    "ok": True,
+                    "op": "ping",
+                    "version": PROTOCOL_VERSION,
+                    "algorithms": solver_names(),
+                },
+            )
+        elif op == "stats":
+            await self._send(
+                writer,
+                lock,
+                {"id": wire_id, "ok": True, "stats": self.scheduler.stats()},
+            )
+        elif op == "solve":
+            task = asyncio.get_running_loop().create_task(
+                self._process_solve(payload, wire_id, writer, lock)
+            )
+            for registry in (tasks, self._request_tasks):
+                registry.add(task)
+                task.add_done_callback(registry.discard)
+        else:
+            await self._send(
+                writer,
+                lock,
+                error_response(
+                    wire_id,
+                    ServeError(
+                        E_BAD_REQUEST,
+                        f"unknown op {op!r}; expected solve, ping or stats",
+                    ),
+                ),
+            )
+
+    async def _process_solve(
+        self,
+        payload: dict,
+        wire_id: str | None,
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+    ) -> None:
+        """One solve request, cradle to response line."""
+        try:
+            # Batch labels must be unique within a coalesced group, so
+            # the scheduler assigns every request a private internal id;
+            # the client's id is only echoed on the wire.
+            request = parse_solve_request(
+                payload,
+                self.scheduler.next_id(),
+                max_points=self.config.max_points,
+            )
+            future = self.scheduler.submit(request)
+            timeout = (
+                request.timeout
+                if request.timeout is not None
+                else self.config.default_timeout
+            )
+            try:
+                delivered = await asyncio.wait_for(future, timeout)
+            except asyncio.TimeoutError:
+                # wait_for already cancelled the future; the scheduler
+                # skips it at dispatch (or discards the orphaned result).
+                raise ServeError(
+                    E_TIMEOUT,
+                    f"request did not finish within {timeout}s",
+                ) from None
+            response = ok_response(
+                wire_id if wire_id is not None else request.id,
+                delivered["result"],
+                delivered["summary"],
+                queue_ms=round(delivered["queue_s"] * 1e3, 3),
+                solve_ms=round(delivered["batch_s"] * 1e3, 3),
+                batch_runs=delivered["batch_runs"],
+            )
+        except ServeError as exc:
+            response = error_response(wire_id, exc)
+        except asyncio.CancelledError:
+            return  # disconnect; nobody left to answer
+        except Exception as exc:  # noqa: BLE001 - answered, never crashed
+            response = error_response(
+                wire_id,
+                ServeError(E_INTERNAL, f"{type(exc).__name__}: {exc}"),
+            )
+        try:
+            await self._send(writer, lock, response)
+        except (ConnectionError, OSError):
+            pass  # client vanished between solve and send
+
+    @staticmethod
+    async def _send(
+        writer: asyncio.StreamWriter, lock: asyncio.Lock, obj: dict
+    ) -> None:
+        async with lock:
+            writer.write(encode(obj))
+            await writer.drain()
+
+
+class ServerHandle:
+    """A :class:`KCenterServer` on a private event-loop thread.
+
+    The synchronous face of the serving layer: tests, the CLI client and
+    the bench all talk to a real TCP endpoint without owning an event
+    loop themselves.
+
+    >>> with ServerHandle(ServeConfig(backend="thread")) as handle:
+    ...     with handle.client() as client:
+    ...         client.solve("gon", 3, points=rows)["result"]["radius"]
+
+    ``close`` (or leaving the ``with`` block) performs the full graceful
+    drain and joins the thread; it is idempotent.
+    """
+
+    def __init__(self, config: ServeConfig | None = None):
+        self.server = KCenterServer(config)
+        self.address: tuple[str, int] | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+        self._closed = False
+
+    @property
+    def config(self) -> ServeConfig:
+        return self.server.config
+
+    def start(self) -> "ServerHandle":
+        ready = threading.Event()
+        failure: list[BaseException] = []
+
+        def run() -> None:
+            async def main() -> None:
+                self._stop = asyncio.Event()
+                try:
+                    self.address = await self.server.start()
+                except BaseException as exc:  # surface bind errors
+                    failure.append(exc)
+                    ready.set()
+                    return
+                self._loop = asyncio.get_running_loop()
+                ready.set()
+                await self._stop.wait()
+                await self.server.stop()
+
+            asyncio.run(main())
+
+        self._thread = threading.Thread(
+            target=run, name="repro-serve-loop", daemon=True
+        )
+        self._thread.start()
+        ready.wait()
+        if failure:
+            self._thread.join()
+            raise failure[0]
+        return self
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._loop is not None and self._thread is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+            self._thread.join()
+
+    def client(self, **kwargs):
+        """A connected :class:`~repro.serve.client.ServeClient`."""
+        from repro.serve.client import ServeClient
+
+        assert self.address is not None, "start() first"
+        return ServeClient(self.address[0], self.address[1], **kwargs)
+
+    def __enter__(self) -> "ServerHandle":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -175,12 +175,25 @@ class BatchResults(dict):
     Behaves exactly like the plain dict :func:`solve_many` used to
     return; the extra :attr:`summary` is the merged
     :class:`~repro.mapreduce.accounting.BatchSummary` of the whole batch
-    (total dist_evals, cache hits/misses, parallel vs cpu time).
+    (total dist_evals, cache hits/misses, parallel vs cpu time), and
+    :attr:`run_summaries` keeps the same accounting *per run* — a
+    single-run :class:`BatchSummary` under each :class:`BatchKey`, so
+    consumers that answer for individual requests (the
+    :mod:`repro.serve` scheduler streams one response per coalesced
+    request) report exact per-run numbers, not a batch-wide smear.
+    ``summary`` is precisely the fold of ``run_summaries`` (with
+    ``parallel_time`` the max rather than the sum).
     """
 
-    def __init__(self, items, summary: BatchSummary):
+    def __init__(
+        self,
+        items,
+        summary: BatchSummary,
+        run_summaries: dict[BatchKey, BatchSummary] | None = None,
+    ):
         super().__init__(items)
         self.summary = summary
+        self.run_summaries: dict[BatchKey, BatchSummary] = run_summaries or {}
 
 
 class _RunOutput(NamedTuple):
@@ -268,7 +281,7 @@ def solve_many(
     space: SpaceLike,
     k: int,
     algorithms: Union[AlgorithmLike, Iterable[AlgorithmLike]] = ("gon", "mrg", "eim"),
-    seeds: Sequence[Any] = (None,),
+    seeds: Sequence[Any] | None = (None,),
     *,
     executor: Executor | None = None,
     cache: DistanceCache | None = None,
@@ -295,10 +308,20 @@ def solve_many(
         :class:`SolverSpec` objects.  Per-entry options override the
         batch-wide ``**options``; the reserved option ``label`` renames
         the entry's key (so one algorithm can appear several times with
-        different options, e.g. an EIM phi sweep).
+        different options, e.g. an EIM phi sweep), and the reserved
+        option ``k`` overrides the batch-wide ``k`` for that entry — so
+        one batch can mix requests for different center counts
+        (``[("gon", {"k": 5}), ("gon", {"k": 25, "label": "g25"})]``),
+        which is how the :mod:`repro.serve` scheduler coalesces a mixed
+        request queue into one fan-out.
     seeds:
         One run is scheduled per (algorithm, seed) pair.  Seeds are bound
         before scheduling, so results are identical under any executor.
+        Passing ``seeds=None`` switches to *entry-owned seeding*: each
+        entry runs exactly once with the ``seed`` from its own options
+        dict (default ``None``), so heterogeneous per-request seeds can
+        share a batch — the grid and the per-entry forms are mutually
+        exclusive, never mixed.
     executor:
         Backend for the *batch fan-out* (default
         :class:`~repro.mapreduce.executor.SequentialExecutor`).  It is not
@@ -339,10 +362,12 @@ def solve_many(
     """
     space = as_space(space, chunk_size=chunk_size)
     entries = _normalise_algorithms(algorithms)
-    if not isinstance(seeds, (list, tuple, range)):
-        seeds = list(seeds)
-    if not seeds:
-        raise InvalidParameterError("solve_many needs at least one seed")
+    entry_seeding = seeds is None
+    if not entry_seeding:
+        if not isinstance(seeds, (list, tuple, range)):
+            seeds = list(seeds)
+        if not seeds:
+            raise InvalidParameterError("solve_many needs at least one seed")
     orphaned = sorted(
         key
         for key in options
@@ -366,17 +391,20 @@ def solve_many(
         }
         merged.update(entry_opts)
         label = str(merged.pop("label", spec.name))
-        if "seed" in merged:
+        entry_k = merged.pop("k", k)
+        if "seed" in merged and not entry_seeding:
             raise InvalidParameterError(
                 "per-entry 'seed' is not allowed; the seeds grid assigns "
-                "one run per (algorithm, seed) pair"
+                "one run per (algorithm, seed) pair (pass seeds=None to "
+                "switch to entry-owned seeding)"
             )
         entry_knobs = {
             knob: merged.pop(knob) for knob in SHARED_KNOBS if knob in merged
         }
-        for seed in seeds:
+        entry_seeds = (entry_knobs.pop("seed", None),) if entry_seeding else seeds
+        for seed in entry_seeds:
             config = SolveConfig(
-                k=k,
+                k=entry_k,
                 m=entry_knobs.get("m", m if "m" in spec.shared else UNSET),
                 capacity=entry_knobs.get(
                     "capacity", capacity if "capacity" in spec.shared else UNSET
@@ -406,16 +434,19 @@ def solve_many(
             [partial(_run_one, task_space, *args, cache) for args in tasks]
         )
 
-    summary = BatchSummary(runs=len(outputs))
-    for out in outputs:
-        summary.dist_evals += out.dist_evals
-        summary.cache_hits += out.cache_hits
-        summary.cache_misses += out.cache_misses
+    run_summaries: dict[BatchKey, BatchSummary] = {}
+    for key, out, seconds in zip(keys, outputs, times):
         stats = out.result.stats
-        if stats is not None:
-            summary.solver_rounds += stats.n_rounds
-    summary.parallel_time = max(times, default=0.0)
-    summary.cpu_time = float(sum(times))
+        run_summaries[key] = BatchSummary(
+            runs=1,
+            parallel_time=seconds,
+            cpu_time=seconds,
+            dist_evals=out.dist_evals,
+            cache_hits=out.cache_hits,
+            cache_misses=out.cache_misses,
+            solver_rounds=stats.n_rounds if stats is not None else 0,
+        )
+    summary = BatchSummary.merged(run_summaries.values())
     return BatchResults(
-        zip(keys, (out.result for out in outputs)), summary
+        zip(keys, (out.result for out in outputs)), summary, run_summaries
     )

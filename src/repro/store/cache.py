@@ -63,9 +63,23 @@ class DistanceCache:
         O(n^2); 2048 points = 32 MiB of float64).
     max_entries:
         Matrices kept at once; least-recently-used entries are evicted.
+    max_bytes:
+        Optional cap on the *total* bytes of all cached matrices.
+        Least-recently-used entries are evicted until the total fits, so
+        a long-lived process (the :mod:`repro.serve` daemon keeps one
+        cache for its whole lifetime) holds bounded memory no matter how
+        many distinct spaces pass through.  A space whose matrix alone
+        exceeds the cap is simply not cacheable — :meth:`space_for`
+        passes it through untouched, exactly like an over-``max_points``
+        space.  ``None`` (default) keeps the entry-count bound only.
     """
 
-    def __init__(self, max_points: int = 2048, max_entries: int = 8):
+    def __init__(
+        self,
+        max_points: int = 2048,
+        max_entries: int = 8,
+        max_bytes: int | None = None,
+    ):
         if max_points <= 0:
             raise InvalidParameterError(
                 f"max_points must be positive, got {max_points}"
@@ -74,8 +88,13 @@ class DistanceCache:
             raise InvalidParameterError(
                 f"max_entries must be positive, got {max_entries}"
             )
+        if max_bytes is not None and max_bytes <= 0:
+            raise InvalidParameterError(
+                f"max_bytes must be positive or None, got {max_bytes}"
+            )
         self.max_points = int(max_points)
         self.max_entries = int(max_entries)
+        self.max_bytes = None if max_bytes is None else int(max_bytes)
         self.hits = 0
         self.misses = 0
         # fingerprint (or identity key) -> (pin, matrix).  ``pin`` is None
@@ -99,7 +118,14 @@ class DistanceCache:
     # ------------------------------------------------------------------ #
     def cacheable(self, space: MetricSpace) -> bool:
         """Whether ``space`` is small enough to cache."""
-        return 0 < space.n <= self.max_points
+        if not 0 < space.n <= self.max_points:
+            return False
+        if self.max_bytes is not None and 8 * space.n * space.n > self.max_bytes:
+            return False
+        return True
+
+    def _total_bytes(self) -> int:
+        return sum(matrix.nbytes for _, matrix in self._entries.values())
 
     def matrix_for(self, space: MetricSpace) -> np.ndarray:
         """The full distance matrix of ``space``, computed at most once
@@ -126,7 +152,11 @@ class DistanceCache:
             self.misses += 1
             matrix = self._build(space)
             self._entries[key] = (space if fp is None else None, matrix)
-            while len(self._entries) > self.max_entries:
+            while len(self._entries) > self.max_entries or (
+                self.max_bytes is not None
+                and len(self._entries) > 1
+                and self._total_bytes() > self.max_bytes
+            ):
                 self._entries.popitem(last=False)
             return matrix, False
 
@@ -164,6 +194,7 @@ class DistanceCache:
             "hits": self.hits,
             "misses": self.misses,
             "entries": len(self._entries),
+            "bytes": self._total_bytes(),
             "max_points": self.max_points,
         }
 

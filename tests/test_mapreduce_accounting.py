@@ -72,3 +72,56 @@ class TestJobStats:
         assert job.parallel_time == 0.0
         assert job.max_machine_load == 0
         assert job.n_rounds == 0
+
+
+class TestBatchSummary:
+    """The wire form: BatchSummary must survive a JSON round-trip exactly
+    (it rides back per response over repro.serve)."""
+
+    def _sample(self):
+        from repro.mapreduce.accounting import BatchSummary
+
+        return BatchSummary(
+            runs=3, parallel_time=0.25, cpu_time=0.6, dist_evals=1234,
+            cache_hits=2, cache_misses=1, solver_rounds=4,
+        )
+
+    def test_json_round_trip_is_exact(self):
+        from repro.mapreduce.accounting import BatchSummary
+
+        summary = self._sample()
+        assert BatchSummary.from_json(summary.to_json()) == summary
+
+    def test_to_dict_matches_summary(self):
+        summary = self._sample()
+        assert summary.to_dict() == summary.summary()
+
+    def test_from_dict_ignores_unknown_and_defaults_missing(self):
+        from repro.mapreduce.accounting import BatchSummary
+
+        rebuilt = BatchSummary.from_dict(
+            {"runs": 2, "dist_evals": 9, "a_future_field": 1}
+        )
+        assert rebuilt.runs == 2
+        assert rebuilt.dist_evals == 9
+        assert rebuilt.cache_hits == 0
+
+    def test_merged_sums_counts_and_maxes_parallel_time(self):
+        from repro.mapreduce.accounting import BatchSummary
+
+        a = BatchSummary(runs=1, parallel_time=0.5, cpu_time=0.5,
+                         dist_evals=10, cache_hits=1, solver_rounds=2)
+        b = BatchSummary(runs=1, parallel_time=0.2, cpu_time=0.2,
+                         dist_evals=5, cache_misses=1)
+        merged = BatchSummary.merged([a, b])
+        assert merged.runs == 2
+        assert merged.parallel_time == 0.5  # slowest run, not the sum
+        assert merged.cpu_time == pytest.approx(0.7)
+        assert merged.dist_evals == 15
+        assert (merged.cache_hits, merged.cache_misses) == (1, 1)
+        assert merged.solver_rounds == 2
+
+    def test_merged_of_nothing_is_the_zero_summary(self):
+        from repro.mapreduce.accounting import BatchSummary
+
+        assert BatchSummary.merged([]) == BatchSummary()

@@ -269,3 +269,86 @@ class TestDataCoercion:
     def test_forgotten_data_kwarg_is_diagnosed(self):
         with pytest.raises(InvalidParameterError, match="data="):
             solve("stream", 5)
+
+
+class TestHeterogeneousBatches:
+    """Per-entry ``k`` and entry-owned seeding — the serve scheduler's
+    contract: one batch may mix center counts and seeds while every run's
+    result and accounting stay identical to a standalone solve."""
+
+    @pytest.fixture(scope="class")
+    def pts(self):
+        return np.random.default_rng(20).normal(size=(120, 3))
+
+    def test_per_entry_k_overrides_batch_k(self, pts):
+        batch = solve_many(
+            pts,
+            4,
+            [("gon", {"k": 2, "label": "g2"}), ("gon", {"label": "g4"})],
+            seeds=(0,),
+        )
+        assert batch[BatchKey("g2", 0)].k == 2
+        assert batch[BatchKey("g4", 0)].k == 4
+        for k in (2, 4):
+            direct = repro.solve(pts, k, "gon", seed=0)
+            got = batch[BatchKey(f"g{k}", 0)]
+            assert np.array_equal(got.centers, direct.centers)
+            assert got.radius == direct.radius
+
+    def test_entry_owned_seeding(self, pts):
+        batch = solve_many(
+            pts,
+            3,
+            [
+                ("gon", {"seed": 0, "label": "a"}),
+                ("gon", {"seed": 7, "label": "b"}),
+                ("gon", {"label": "c"}),  # default seed None
+            ],
+            seeds=None,
+        )
+        assert set(batch) == {
+            BatchKey("a", 0),
+            BatchKey("b", 7),
+            BatchKey("c", None),
+        }
+        for label, seed in (("a", 0), ("b", 7)):
+            direct = repro.solve(pts, 3, "gon", seed=seed)
+            assert batch[BatchKey(label, seed)].radius == direct.radius
+
+    def test_per_entry_seed_still_rejected_under_seed_grid(self, pts):
+        with pytest.raises(InvalidParameterError, match="seeds grid"):
+            solve_many(pts, 3, [("gon", {"seed": 1})], seeds=(0, 1))
+
+    def test_run_summaries_fold_into_the_batch_summary(self, pts):
+        batch = solve_many(
+            pts, 3, ("gon", "mrg"), seeds=(0, 1), m=4
+        )
+        assert set(batch.run_summaries) == set(batch)
+        assert all(s.runs == 1 for s in batch.run_summaries.values())
+        total = batch.summary
+        parts = batch.run_summaries.values()
+        assert total.runs == len(batch)
+        assert total.dist_evals == sum(s.dist_evals for s in parts)
+        assert total.cpu_time == pytest.approx(sum(s.cpu_time for s in parts))
+        assert total.parallel_time == max(s.parallel_time for s in parts)
+
+    def test_heterogeneous_batch_matches_standalone_accounting(self, pts):
+        """Mixed-k batch runs report the same result and per-run
+        dist_evals as the same runs made in single-entry batches."""
+        batch = solve_many(
+            pts,
+            4,
+            [("mrg", {"k": 3, "m": 4, "label": "m3"}),
+             ("mrg", {"m": 4, "label": "m4"})],
+            seeds=(0,),
+        )
+        for label, k in (("m3", 3), ("m4", 4)):
+            solo = solve_many(pts, k, [("mrg", {"m": 4})], seeds=(0,))
+            direct = solo[BatchKey("mrg", 0)]
+            got = batch[BatchKey(label, 0)]
+            assert np.array_equal(got.centers, direct.centers)
+            assert got.radius == direct.radius
+            assert (
+                batch.run_summaries[BatchKey(label, 0)].dist_evals
+                == solo.run_summaries[BatchKey("mrg", 0)].dist_evals
+            )

@@ -228,3 +228,40 @@ class TestContentKeys:
         assert cache.misses == 2
         assert matrix.shape == (30, 30)
         assert matrix[0, 1] == pytest.approx(s2.dist(0, 1), abs=1e-8)
+
+
+class TestByteBound:
+    """max_bytes: the long-lived server cache holds bounded memory."""
+
+    def _space(self, n, seed):
+        pts = np.random.default_rng(seed).normal(size=(n, 2))
+        return EuclideanSpace(pts)
+
+    def test_total_bytes_evicts_lru(self):
+        # Each 40-point matrix is 40*40*8 = 12800 bytes; cap at two.
+        cache = DistanceCache(max_points=128, max_entries=8, max_bytes=26_000)
+        for seed in range(3):
+            cache.matrix_for(self._space(40, seed))
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        assert stats["bytes"] <= 26_000
+        # The oldest entry was the one evicted: re-requesting it misses.
+        cache.matrix_for(self._space(40, 0))
+        assert cache.misses == 4
+
+    def test_space_over_byte_cap_is_not_cacheable(self):
+        cache = DistanceCache(max_points=4096, max_bytes=1000)
+        big = self._space(40, 0)  # matrix alone is 12.8 kB
+        assert not cache.cacheable(big)
+        # space_for passes it through untouched instead of raising
+        assert cache.space_for(big) is big
+        small = self._space(10, 1)  # 800 bytes fits
+        assert cache.cacheable(small)
+        cache.matrix_for(small)
+        assert cache.stats()["entries"] == 1
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            DistanceCache(max_bytes=0)
+        with pytest.raises(InvalidParameterError):
+            DistanceCache(max_bytes=-5)
