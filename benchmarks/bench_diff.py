@@ -1,0 +1,156 @@
+"""Diff two ``BENCH_*.json`` perf trajectories, cell by cell.
+
+The perf harness (:mod:`benchmarks.bench_perf`) writes one record per
+(workload, backing, executor, n, k, m) cell.  This tool compares the
+cells two trajectory files share and enforces the repo's regression
+gates:
+
+* ``dist_evals`` and ``radius`` are **identity** gates — the execution
+  engine's bit-parity contract says the same workload does exactly the
+  same distance work and returns exactly the same answer, faults or no
+  faults, whatever the backend.
+* ``peak_rss_kb`` is a **ratio** gate (default tolerance 2.0x): memory
+  may wobble with allocator luck, but a doubling is a leak.
+* ``wall_s`` is **report-only** by default — CI machines are too noisy
+  to gate on wall-clock; pass ``--wall-tol`` to opt into a ratio gate
+  on a quiet box.
+
+Records without the cell-key fields (e.g. the serve trajectory's phase
+records, ``repro-serve-v1``) are not comparable; if the two files share
+no cells the diff passes vacuously with a note, so trajectories with
+different schemas can sit in one artifact store without tripping CI.
+
+Usage::
+
+    python benchmarks/bench_diff.py OLD.json NEW.json [--rss-tol 2.0]
+                                                      [--wall-tol 1.5]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Fields identifying a comparable cell, in display order.
+KEY_FIELDS = ("workload", "backing", "executor", "n", "k", "m")
+
+#: Exit codes: 0 pass (or vacuous), 1 gate failure, 2 usage error.
+PASS, FAIL, USAGE = 0, 1, 2
+
+
+def load_records(path: Path) -> dict[tuple, dict]:
+    """Map cell key -> record for every comparable record in ``path``."""
+    payload = json.loads(path.read_text())
+    cells: dict[tuple, dict] = {}
+    for record in payload.get("records", []):
+        if not all(field in record for field in KEY_FIELDS):
+            continue  # different schema (serve phases, future benches)
+        key = tuple(record[field] for field in KEY_FIELDS)
+        if key in cells:
+            raise ValueError(f"{path}: duplicate cell {key}")
+        cells[key] = record
+    return cells
+
+
+def fmt_key(key: tuple) -> str:
+    return "/".join(str(part) for part in key)
+
+
+def diff_cells(
+    old: dict[tuple, dict],
+    new: dict[tuple, dict],
+    rss_tol: float = 2.0,
+    wall_tol: float | None = None,
+) -> tuple[list[str], list[str]]:
+    """Compare shared cells; return (report lines, gate failures)."""
+    lines: list[str] = []
+    failures: list[str] = []
+    shared = sorted(set(old) & set(new))
+    for key in shared:
+        a, b = old[key], new[key]
+        cell = fmt_key(key)
+        if a.get("dist_evals") != b.get("dist_evals"):
+            failures.append(
+                f"{cell}: dist_evals {a.get('dist_evals')} -> "
+                f"{b.get('dist_evals')} (identity gate)"
+            )
+        if a.get("radius") != b.get("radius"):
+            failures.append(
+                f"{cell}: radius {a.get('radius')!r} -> "
+                f"{b.get('radius')!r} (identity gate)"
+            )
+        rss_a, rss_b = a.get("peak_rss_kb"), b.get("peak_rss_kb")
+        if rss_a and rss_b:
+            ratio = rss_b / rss_a
+            if ratio > rss_tol:
+                failures.append(
+                    f"{cell}: peak_rss_kb {rss_a} -> {rss_b} "
+                    f"({ratio:.2f}x > tolerance {rss_tol}x)"
+                )
+        wall_a, wall_b = a.get("wall_s"), b.get("wall_s")
+        if wall_a and wall_b:
+            speed = wall_b / wall_a
+            note = f"{cell}: wall {wall_a:.3f}s -> {wall_b:.3f}s ({speed:.2f}x)"
+            if wall_tol is not None and speed > wall_tol:
+                failures.append(note + f" > tolerance {wall_tol}x")
+            else:
+                lines.append(note)
+    only_old = sorted(set(old) - set(new))
+    only_new = sorted(set(new) - set(old))
+    for key in only_old:
+        lines.append(f"{fmt_key(key)}: only in old trajectory")
+    for key in only_new:
+        lines.append(f"{fmt_key(key)}: only in new trajectory")
+    if not shared:
+        lines.append(
+            "no comparable cells (different schemas?) — vacuous pass"
+        )
+    return lines, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench_diff", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("old", type=Path, help="baseline BENCH_*.json")
+    parser.add_argument("new", type=Path, help="candidate BENCH_*.json")
+    parser.add_argument(
+        "--rss-tol",
+        type=float,
+        default=2.0,
+        help="max allowed new/old peak-RSS ratio (default 2.0)",
+    )
+    parser.add_argument(
+        "--wall-tol",
+        type=float,
+        default=None,
+        help="gate on new/old wall-clock ratio (default: report only)",
+    )
+    args = parser.parse_args(argv)
+    for path in (args.old, args.new):
+        if not path.is_file():
+            print(f"bench_diff: no such file: {path}", file=sys.stderr)
+            return USAGE
+    try:
+        old = load_records(args.old)
+        new = load_records(args.new)
+    except (ValueError, json.JSONDecodeError) as exc:
+        print(f"bench_diff: {exc}", file=sys.stderr)
+        return USAGE
+    lines, failures = diff_cells(
+        old, new, rss_tol=args.rss_tol, wall_tol=args.wall_tol
+    )
+    for line in lines:
+        print(line)
+    for failure in failures:
+        print(f"FAIL {failure}", file=sys.stderr)
+    verdict = "FAIL" if failures else "PASS"
+    print(f"bench_diff: {verdict} ({len(set(old) & set(new))} shared cells, "
+          f"{len(failures)} gate failure(s))")
+    return FAIL if failures else PASS
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,10 +40,20 @@ Distance maintenance is incremental: each point of R carries its current
 distance to S, and each iteration folds only the *newly sampled* points
 into that running minimum (total work ``sum_l |R_l| * |dS_l|``, the same
 asymptotics as the paper's Round-3 count with a smaller constant).
+
+Every round's tasks honour the repo-wide **re-execution contract** (see
+:mod:`repro.mapreduce.resilient`): randomness is bound as *seeds* before
+dispatch and turned into a generator per call, distance work is counted
+into a task-private counter reported via
+:class:`~repro.mapreduce.cluster.TaskOutput`, and the one in-place update
+(Round 3's distance min-fold) is idempotent — so a retried or
+speculatively duplicated task reproduces its first execution bit for bit
+and the round's ``dist_evals`` stay exact under any absorbed fault.
 """
 
 from __future__ import annotations
 
+import copy
 import math
 from dataclasses import dataclass
 
@@ -53,10 +63,10 @@ from repro.core.assignment import covering_radius
 from repro.core.gonzalez import gonzalez_trace
 from repro.core.result import KCenterResult
 from repro.errors import CapacityError, ConvergenceError, InvalidParameterError
-from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.cluster import SimulatedCluster, TaskOutput
 from repro.mapreduce.executor import Executor
 from repro.mapreduce.partition import block_partition
-from repro.metric.base import MetricSpace
+from repro.metric.base import MetricSpace, TaskCounter
 from repro.utils.rng import SeedLike, SeedStream
 from repro.utils.timing import Timer
 
@@ -212,10 +222,18 @@ def eim(
             shard_pos = [p for p in block_partition(r_size, n_machines) if len(p)]
             shards = [remaining[p] for p in shard_pos]
             shard_starts = np.cumsum([0] + [len(s) for s in shards])
-            machine_rngs = seeds.generators(len(shards))
+            # Each task carries its *seed*, not a live generator, and
+            # builds a fresh ``default_rng`` per call: a stateful
+            # generator would make a retried / speculatively duplicated
+            # task draw different samples on its second execution.
+            # Bit-identical to the old generator binding, since
+            # ``SeedStream.generators`` is exactly ``default_rng`` over
+            # ``SeedStream.seeds``.
+            machine_seeds = seeds.seeds(len(shards))
 
-            def make_sample_task(shard: np.ndarray, rng: np.random.Generator):
+            def make_sample_task(shard: np.ndarray, task_seed):
                 def task() -> tuple[np.ndarray, np.ndarray]:
+                    rng = np.random.default_rng(task_seed)
                     draw_s = rng.random(len(shard)) < p_s
                     draw_h = rng.random(len(shard)) < p_h
                     return shard[draw_s], shard[draw_h]
@@ -225,7 +243,7 @@ def eim(
             pairs = cluster.run_round(
                 f"eim.sample[{iteration}]",
                 [
-                    make_sample_task(shard, machine_rngs[i])
+                    make_sample_task(shard, machine_seeds[i])
                     for i, shard in enumerate(shards)
                 ],
                 task_sizes=[len(s) for s in shards],
@@ -243,14 +261,23 @@ def eim(
                 # H subset of R, and `remaining` is sorted, so positions are exact.
                 pool_positions = np.searchsorted(remaining, pivot_pool)
 
-                def select_task() -> float:
+                def select_task() -> TaskOutput:
+                    # Private counter + explicit TaskOutput accounting:
+                    # if the task is re-executed (retry, speculation) only
+                    # the winning attempt's count is folded into the
+                    # round, keeping dist_evals exact under faults.
+                    shadow = copy.copy(space)
+                    shadow.counter = TaskCounter()
                     d_h = dist_to_sample[pool_positions].copy()
                     if len(new_sample):
-                        space.update_min_dists(d_h, pivot_pool, new_sample)
+                        shadow.update_min_dists(d_h, pivot_pool, new_sample)
                     rank = min(params.pivot_rank(n), len(d_h) - 1)
                     # phi*log(n)-th farthest = descending order statistic.
                     kth = len(d_h) - 1 - rank
-                    return float(np.partition(d_h, kth)[kth])
+                    return TaskOutput(
+                        float(np.partition(d_h, kth)[kth]),
+                        shadow.counter.evals,
+                    )
 
                 (pivot_dist,) = cluster.run_round(
                     f"eim.select[{iteration}]",
@@ -264,23 +291,33 @@ def eim(
             has_pivot = pivot_dist > -np.inf
 
             def make_remove_task(lo: int, hi: int):
-                def task() -> np.ndarray:
+                def task() -> TaskOutput:
+                    # In-place min-fold on the maintained distances: a
+                    # pure minimum against a fixed reference set, hence
+                    # idempotent — re-execution (or two concurrent
+                    # attempts) writes the same values.  The private
+                    # counter keeps re-executed work out of the books.
+                    shadow = copy.copy(space)
+                    shadow.counter = TaskCounter()
                     block = dist_to_sample[lo:hi]  # contiguous view: in-place
                     if len(new_sample):
-                        space.update_min_dists(block, remaining[lo:hi], new_sample)
+                        shadow.update_min_dists(block, remaining[lo:hi], new_sample)
                     if params.legacy_removal:
                         # Original rule: remove strictly-closer points only,
                         # and do not force sampled points out of R.
-                        return block >= pivot_dist if has_pivot else np.ones(
-                            hi - lo, dtype=bool
+                        keep = (
+                            block >= pivot_dist
+                            if has_pivot
+                            else np.ones(hi - lo, dtype=bool)
                         )
+                        return TaskOutput(keep, shadow.counter.evals)
                     keep = (
                         block > pivot_dist
                         if has_pivot
                         else np.ones(hi - lo, dtype=bool)
                     )
                     keep &= ~in_new_sample[lo:hi]
-                    return keep
+                    return TaskOutput(keep, shadow.counter.evals)
 
                 return task
 
@@ -321,10 +358,15 @@ def eim(
             )
         final_seed = seeds.seeds(1)[0]
 
-        def final_task() -> np.ndarray:
-            local = space.local(candidates)
+        def final_task() -> TaskOutput:
+            # ``local`` shares its parent's counter, so the clean-up runs
+            # over a shadow copy with a private one — same re-execution
+            # safety as the loop rounds.
+            shadow = copy.copy(space)
+            shadow.counter = TaskCounter()
+            local = shadow.local(candidates)
             trace = gonzalez_trace(local, k, seed=final_seed)
-            return candidates[trace.centers]
+            return TaskOutput(candidates[trace.centers], shadow.counter.evals)
 
         (centers,) = cluster.run_round(
             "eim.final", [final_task], task_sizes=[len(candidates)]

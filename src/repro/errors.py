@@ -16,6 +16,7 @@ __all__ = [
     "DatasetError",
     "ConvergenceError",
     "ExperimentError",
+    "TaskFailedError",
 ]
 
 
@@ -60,3 +61,39 @@ class ConvergenceError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment specification is inconsistent or failed to run."""
+
+
+class TaskFailedError(ReproError):
+    """A task exhausted its fault-tolerance budget and cannot be retried.
+
+    Raised by :class:`~repro.mapreduce.resilient.ResilientExecutor` when
+    a task keeps failing (crash, timeout, lost result, broken worker
+    pool) after ``FaultPolicy.max_retries`` re-dispatches.  Structured so
+    callers can report *which* unit of work died and why — partial
+    results are never returned in its place.
+
+    Attributes
+    ----------
+    task_index:
+        Position of the failed task within its batch/round.
+    attempts:
+        Total attempts made (initial dispatch + retries).
+    label:
+        The enclosing round's label when the failure happened inside a
+        :class:`~repro.mapreduce.cluster.SimulatedCluster` round,
+        ``None`` otherwise.
+    __cause__:
+        The final attempt's underlying exception (standard chaining).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        task_index: int | None = None,
+        attempts: int | None = None,
+        label: str | None = None,
+    ):
+        super().__init__(message)
+        self.task_index = task_index
+        self.attempts = attempts
+        self.label = label

@@ -17,7 +17,16 @@ methodology exactly, plus the bookkeeping the paper's analysis needs:
   recurrence, round counts for the multi-round regime);
 * :mod:`~repro.mapreduce.executor` — sequential (default, faithful to the
   paper), thread-pool (shared memory, BLAS-released kernels overlap) and
-  process-pool (real multicore) task executors behind one protocol.
+  process-pool (real multicore) task executors behind one protocol;
+* :mod:`~repro.mapreduce.resilient` /
+  :mod:`~repro.mapreduce.faults` — fault tolerance over that protocol:
+  :class:`~repro.mapreduce.resilient.ResilientExecutor` enforces a
+  :class:`~repro.mapreduce.resilient.FaultPolicy` (retries, per-task
+  timeouts, speculative re-execution, result dedup) around any backend,
+  and the deterministic fault injectors
+  (:class:`~repro.mapreduce.faults.FaultSchedule`,
+  :class:`~repro.mapreduce.faults.RandomFaults`) test that absorbed
+  faults leave results bit-identical to the fault-free run.
 """
 
 from repro.mapreduce.accounting import BatchSummary, JobStats, RoundStats
@@ -27,12 +36,24 @@ from repro.mapreduce.executor import (
     SequentialExecutor,
     ThreadPoolExecutorBackend,
 )
+from repro.mapreduce.faults import (
+    Fault,
+    FaultInjector,
+    FaultSchedule,
+    InjectedFault,
+    RandomFaults,
+)
 from repro.mapreduce.job import MapReduceJob, MapReduceRound
 from repro.mapreduce.model import (
     machines_after_rounds,
     mrg_approximation_factor,
     mrg_feasible_two_rounds,
     mrg_rounds_needed,
+)
+from repro.mapreduce.resilient import (
+    FaultPolicy,
+    ResilientExecutor,
+    RoundFaultStats,
 )
 from repro.mapreduce.partition import (
     block_partition,
@@ -52,6 +73,14 @@ __all__ = [
     "SequentialExecutor",
     "ThreadPoolExecutorBackend",
     "ProcessPoolExecutorBackend",
+    "ResilientExecutor",
+    "FaultPolicy",
+    "RoundFaultStats",
+    "Fault",
+    "FaultInjector",
+    "FaultSchedule",
+    "InjectedFault",
+    "RandomFaults",
     "block_partition",
     "random_partition",
     "hash_partition",

@@ -38,6 +38,17 @@ class RoundStats:
     shuffle_elements: int = 0
     #: Scalar distance evaluations performed during this round.
     dist_evals: int = 0
+    #: Task attempts re-dispatched after a failure (crash / timeout /
+    #: lost result) by the fault-tolerance layer.  Zero without a
+    #: :class:`~repro.mapreduce.resilient.ResilientExecutor`.
+    retries: int = 0
+    #: Tasks whose *speculative* copy finished first.
+    speculative_wins: int = 0
+    #: Wall-clock of attempts whose result was discarded (failed
+    #: attempts, abandoned stragglers, losing speculative copies).  Kept
+    #: out of ``task_times`` so the paper-methodology timing is
+    #: winners-only.
+    wasted_task_seconds: float = 0.0
 
     @property
     def n_tasks(self) -> int:
@@ -63,6 +74,33 @@ class RoundStats:
             f"parallel {self.parallel_time:.4g}s, cpu {self.cpu_time:.4g}s, "
             f"shuffle {self.shuffle_elements}, dist_evals {self.dist_evals})"
         )
+
+    # ------------------------------------------------------------------ #
+    # wire form: benchmark harnesses serialise per-round rows
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """Plain-JSON form; :meth:`from_dict` round-trips it exactly."""
+        return {
+            "label": self.label,
+            "task_times": list(self.task_times),
+            "task_sizes": list(self.task_sizes),
+            "shuffle_elements": self.shuffle_elements,
+            "dist_evals": self.dist_evals,
+            "retries": self.retries,
+            "speculative_wins": self.speculative_wins,
+            "wasted_task_seconds": self.wasted_task_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RoundStats":
+        """Rebuild from a :meth:`to_dict` mapping.
+
+        Unknown keys are ignored and missing keys keep their dataclass
+        defaults, so rows written before the fault-tolerance fields
+        existed (and rows a newer writer may add fields to) still parse.
+        """
+        known = {f.name for f in fields(cls)}
+        return cls(**{key: data[key] for key in known if key in data})
 
 
 @dataclass
@@ -100,6 +138,18 @@ class JobStats:
     def max_machine_load(self) -> int:
         """Largest single-reducer input across the whole job."""
         return max((r.max_task_size for r in self.rounds), default=0)
+
+    @property
+    def retries(self) -> int:
+        return int(sum(r.retries for r in self.rounds))
+
+    @property
+    def speculative_wins(self) -> int:
+        return int(sum(r.speculative_wins for r in self.rounds))
+
+    @property
+    def wasted_task_seconds(self) -> float:
+        return float(sum(r.wasted_task_seconds for r in self.rounds))
 
     def merged(self, other: "JobStats") -> "JobStats":
         """New JobStats with this job's rounds followed by ``other``'s."""
@@ -144,6 +194,17 @@ class BatchSummary:
     cache_hits: int = 0
     cache_misses: int = 0
     solver_rounds: int = 0
+    #: Fault-tolerance accounting (see :class:`RoundStats`): task
+    #: attempts re-dispatched after failures, tasks won by a speculative
+    #: copy, and wall-clock spent on attempts whose result was
+    #: discarded.  All zero unless the batch ran under a
+    #: :class:`~repro.mapreduce.resilient.ResilientExecutor`.  The
+    #: defaults keep summaries written before these fields existed
+    #: parsing unchanged (``from_dict`` ignores unknown keys in the
+    #: other direction).
+    retries: int = 0
+    speculative_wins: int = 0
+    wasted_task_seconds: float = 0.0
 
     def summary(self) -> dict:
         """Flat dict of headline numbers, shaped like ``JobStats.summary``."""
@@ -155,6 +216,9 @@ class BatchSummary:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "solver_rounds": self.solver_rounds,
+            "retries": self.retries,
+            "speculative_wins": self.speculative_wins,
+            "wasted_task_seconds": self.wasted_task_seconds,
         }
 
     # ------------------------------------------------------------------ #
@@ -197,4 +261,7 @@ class BatchSummary:
             total.cache_hits += part.cache_hits
             total.cache_misses += part.cache_misses
             total.solver_rounds += part.solver_rounds
+            total.retries += part.retries
+            total.speculative_wins += part.speculative_wins
+            total.wasted_task_seconds += part.wasted_task_seconds
         return total

@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
-from repro.errors import CapacityError, InvalidParameterError
+from repro.errors import CapacityError, InvalidParameterError, TaskFailedError
 from repro.mapreduce.accounting import JobStats, RoundStats
 from repro.mapreduce.executor import Executor, SequentialExecutor
 from repro.metric.base import DistCounter
@@ -134,7 +134,14 @@ class SimulatedCluster:
             self.check_fits(int(size), what=f"round {label!r} task input")
 
         evals_before = self.dist_counter.evals if self.dist_counter else 0
-        results, times = self.executor.run(tasks)
+        try:
+            results, times = self.executor.run(tasks)
+        except TaskFailedError as exc:
+            # A task exhausted its fault-tolerance budget: stamp the round
+            # so the error names the unit of work, not just an index.
+            if exc.label is None:
+                exc.label = label
+            raise
         results = list(results)
         for t, result in enumerate(results):
             if isinstance(result, TaskOutput):
@@ -143,17 +150,26 @@ class SimulatedCluster:
                 results[t] = result.value
         evals_after = self.dist_counter.evals if self.dist_counter else 0
 
-        self.stats.add(
-            RoundStats(
-                label=label,
-                task_times=list(times),
-                task_sizes=[int(s) for s in task_sizes],
-                shuffle_elements=(
-                    int(sum(task_sizes)) if shuffle_elements is None else int(shuffle_elements)
-                ),
-                dist_evals=evals_after - evals_before,
-            )
+        round_stats = RoundStats(
+            label=label,
+            task_times=list(times),
+            task_sizes=[int(s) for s in task_sizes],
+            shuffle_elements=(
+                int(sum(task_sizes)) if shuffle_elements is None else int(shuffle_elements)
+            ),
+            dist_evals=evals_after - evals_before,
         )
+        # A fault-tolerant executor (ResilientExecutor) reports what it
+        # absorbed this round; duck-typed so the cluster needs no import
+        # of (or hard dependency on) the resilience layer.
+        pop_stats = getattr(self.executor, "pop_round_stats", None)
+        if pop_stats is not None:
+            fault_stats = pop_stats()
+            if fault_stats is not None:
+                round_stats.retries = fault_stats.retries
+                round_stats.speculative_wins = fault_stats.speculative_wins
+                round_stats.wasted_task_seconds = fault_stats.wasted_task_seconds
+        self.stats.add(round_stats)
         return results
 
     def reset_stats(self) -> None:

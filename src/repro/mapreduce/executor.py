@@ -194,6 +194,22 @@ class _PoolBackend:
     def _map(self, pool, tasks: Sequence[Callable[[], Any]]) -> list:
         return list(pool.map(run_task, tasks))
 
+    def submit(self, task: Callable[[], Any]):
+        """Submit one task to the persistent pool, without waiting.
+
+        Returns a ``concurrent.futures.Future`` resolving to
+        ``(result, wall_seconds)`` — the same pair :func:`run_task`
+        produces under :meth:`run`.  This is the hook
+        :class:`~repro.mapreduce.resilient.ResilientExecutor` drives
+        per-task retries, timeouts and speculative copies through;
+        ``run`` remains the batch path.  Always uses the persistent pool
+        (opening it if needed) even for ``persistent=False`` backends:
+        individual futures have no natural point to tear a throwaway
+        pool down.
+        """
+        self.open()
+        return self._pool.submit(run_task, task)
+
     def run(
         self, tasks: Sequence[Callable[[], Any]]
     ) -> tuple[list[Any], list[float]]:

@@ -1,0 +1,308 @@
+"""Deterministic fault injection for the execution engine.
+
+The paper's round-synchronous MapReduce structure makes fault tolerance a
+well-defined contract: a round is a batch of pure, pre-seeded reducer
+tasks, so any task may be re-executed (or executed twice, concurrently)
+without changing the job's output.  This module supplies the *chaos* side
+of testing that contract — a seedable harness that makes individual tasks
+crash, hang, dawdle, die, duplicate or lose their results, addressed by
+``(round index, task index)``, with bit-for-bit reproducible schedules.
+
+The enforcement side lives in :mod:`repro.mapreduce.resilient`
+(:class:`~repro.mapreduce.resilient.ResilientExecutor` consults an
+injector at dispatch time and applies the policy's retries, timeouts and
+speculative re-execution).  Nothing here ever fires in production paths:
+without an injector, the resilient wrapper only reacts to *real*
+failures.
+
+Fault kinds
+-----------
+``crash``
+    The attempt raises :class:`InjectedFault` before the task runs —
+    a reducer process raising mid-round.
+``hang``
+    The attempt sleeps ``seconds`` before running the task — long enough
+    to trip the policy's per-task timeout.  Injected hangs are always
+    *finite* so test runs terminate even when no timeout is configured.
+``delay``
+    The attempt sleeps ``seconds`` then completes normally — a straggler
+    (speculative re-execution bait), not a failure.
+``drop``
+    The task runs to completion, then the attempt raises — the work was
+    done but the result was lost in transit.  Exercises that a discarded
+    result's accounting (its :class:`~repro.mapreduce.cluster.TaskOutput`
+    evaluation count) never leaks into the round's books.
+``duplicate``
+    The driver launches a second, concurrent copy of the task at
+    dispatch time; both results come back and exactly one must win.
+``die``
+    The worker *process* exits hard (``os._exit``) — the pool-poisoning
+    failure mode.  Refused with an ordinary :class:`InjectedFault` when
+    the attempt would run in the driver process (sequential or thread
+    execution), where a hard exit would kill the test, not a worker.
+
+Addressing and wildcards
+------------------------
+A :class:`FaultSchedule` maps ``(round, task)`` keys to :class:`Fault`
+specs; either component may be ``None``, meaning *any* ("crash task 1 of
+every round": ``{(None, 1): Fault("crash")}``).  Rounds are counted by
+the resilient executor — one per :meth:`ResilientExecutor.run` call,
+which is one MapReduce round inside a solver, or one ``solve_many``
+fan-out at the batch level.
+
+:class:`RandomFaults` draws the schedule instead: a pure function of
+``(seed, round, task)`` via :class:`numpy.random.SeedSequence`, so it
+needs no advance knowledge of the job's shape (EIM's round count is
+data-dependent) and two runs with one seed inject identical faults.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, Mapping, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "ALWAYS",
+    "FAULT_KINDS",
+    "Fault",
+    "FaultInjector",
+    "FaultSchedule",
+    "InjectedFault",
+    "RandomFaults",
+    "apply_fault",
+]
+
+#: Recognised fault kinds (see the module docs for semantics).
+FAULT_KINDS = ("crash", "hang", "delay", "drop", "duplicate", "die")
+
+#: ``Fault(times=ALWAYS)``: the fault fires on every attempt, exhausting
+#: any finite retry budget.
+ALWAYS = 2**31
+
+
+class InjectedFault(RuntimeError):
+    """A simulated worker failure raised by an injected fault.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: injected
+    crashes stand in for arbitrary infrastructure failures (a dying
+    worker raises whatever it raises), so the retry machinery must treat
+    them like any foreign exception.
+    """
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected fault: what goes wrong, how often, for how long.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    times:
+        Number of *leading attempts* affected.  ``times=1`` (default)
+        faults the first attempt only, so a policy with any retry budget
+        absorbs it; :data:`ALWAYS` faults every attempt, so the budget
+        exhausts and the task fails structurally.  ``duplicate`` ignores
+        ``times`` — the clone is launched once, at first dispatch.
+    seconds:
+        Sleep length for ``hang`` / ``delay``; ignored otherwise.
+    """
+
+    kind: str
+    times: int = 1
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise InvalidParameterError(
+                f"unknown fault kind {self.kind!r}; choose from {FAULT_KINDS}"
+            )
+        if self.times < 1:
+            raise InvalidParameterError(
+                f"fault times must be >= 1, got {self.times}"
+            )
+        if self.seconds < 0:
+            raise InvalidParameterError(
+                f"fault seconds must be >= 0, got {self.seconds}"
+            )
+
+    def affects(self, attempt: int) -> bool:
+        """Whether attempt number ``attempt`` (0-based) is faulted."""
+        return attempt < self.times
+
+
+@runtime_checkable
+class FaultInjector(Protocol):
+    """Anything that can answer "what goes wrong with this task?".
+
+    ``fault_for`` must be *pure*: the same ``(round, task)`` always maps
+    to the same answer, or retries would chase a moving target and the
+    determinism contract (same seed, same faults) would not hold.
+    """
+
+    def fault_for(self, round_index: int, task_index: int) -> Fault | None: ...
+
+
+class FaultSchedule:
+    """Explicit ``{(round, task): Fault}`` schedule with wildcard keys.
+
+    Key components may be ``None`` to match any round / any task; exact
+    keys win over task wildcards, which win over round wildcards, which
+    win over the global ``(None, None)`` entry.
+
+    >>> schedule = FaultSchedule({(0, 1): Fault("crash"),
+    ...                           (None, 2): Fault("delay", seconds=0.01)})
+    >>> schedule.fault_for(0, 1).kind
+    'crash'
+    >>> schedule.fault_for(7, 2).kind
+    'delay'
+    >>> schedule.fault_for(1, 1) is None
+    True
+    """
+
+    def __init__(self, faults: Mapping[tuple[int | None, int | None], Fault]):
+        for key, fault in faults.items():
+            if (
+                not isinstance(key, tuple)
+                or len(key) != 2
+                or not all(part is None or isinstance(part, int) for part in key)
+            ):
+                raise InvalidParameterError(
+                    f"schedule keys must be (round, task) int-or-None pairs, "
+                    f"got {key!r}"
+                )
+            if not isinstance(fault, Fault):
+                raise InvalidParameterError(
+                    f"schedule values must be Fault instances, got {fault!r}"
+                )
+        self._faults = dict(faults)
+
+    def fault_for(self, round_index: int, task_index: int) -> Fault | None:
+        for key in (
+            (round_index, task_index),
+            (None, task_index),
+            (round_index, None),
+            (None, None),
+        ):
+            fault = self._faults.get(key)
+            if fault is not None:
+                return fault
+        return None
+
+    def __len__(self) -> int:
+        return len(self._faults)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FaultSchedule({self._faults!r})"
+
+
+class RandomFaults:
+    """Seeded random fault schedule, shape-free and fully deterministic.
+
+    Whether (and how) a given ``(round, task)`` is faulted is a pure
+    function of ``(seed, round, task)``: each lookup derives a private
+    :class:`numpy.random.SeedSequence` from the triple, so the schedule
+    needs no advance knowledge of how many rounds or tasks the job will
+    have, and any sub-schedule is reproducible in isolation.
+
+    Parameters
+    ----------
+    seed:
+        Schedule seed (required — an unseeded chaos schedule cannot be
+        replayed, defeating the point).
+    rate:
+        Probability that a given task is faulted at all.
+    kinds:
+        Fault kinds to draw from, uniformly.  Defaults to the
+        policy-absorbable pair ``("crash", "delay")``; include ``"hang"``
+        / ``"drop"`` / ``"duplicate"`` for meaner schedules.  ``"die"``
+        must be opted into explicitly — it is only meaningful on process
+        backends.
+    times:
+        ``Fault.times`` for the failure kinds — keep it at or below the
+        enforcing policy's ``max_retries`` for absorbable schedules.
+    delay, hang:
+        Sleep lengths (seconds) for the respective kinds.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        rate: float = 0.25,
+        kinds: tuple[str, ...] = ("crash", "delay"),
+        times: int = 1,
+        delay: float = 0.005,
+        hang: float = 0.2,
+    ):
+        if not isinstance(seed, (int, np.integer)):
+            raise InvalidParameterError(
+                f"RandomFaults needs an integer seed, got {seed!r}"
+            )
+        if not 0.0 <= rate <= 1.0:
+            raise InvalidParameterError(f"rate must be in [0, 1], got {rate}")
+        for kind in kinds:
+            if kind not in FAULT_KINDS:
+                raise InvalidParameterError(
+                    f"unknown fault kind {kind!r}; choose from {FAULT_KINDS}"
+                )
+        if not kinds:
+            raise InvalidParameterError("RandomFaults needs at least one kind")
+        self.seed = int(seed)
+        self.rate = float(rate)
+        self.kinds = tuple(kinds)
+        self.times = int(times)
+        self.delay = float(delay)
+        self.hang = float(hang)
+
+    def fault_for(self, round_index: int, task_index: int) -> Fault | None:
+        rng = np.random.default_rng(
+            np.random.SeedSequence(
+                [self.seed, int(round_index), int(task_index)]
+            )
+        )
+        if rng.random() >= self.rate:
+            return None
+        kind = self.kinds[int(rng.integers(len(self.kinds)))]
+        seconds = 0.0
+        if kind == "delay":
+            seconds = self.delay
+        elif kind == "hang":
+            seconds = self.hang
+        return Fault(kind, times=self.times, seconds=seconds)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RandomFaults(seed={self.seed}, rate={self.rate}, "
+            f"kinds={self.kinds})"
+        )
+
+
+def apply_fault(task: Callable, kind: str, seconds: float, driver_pid: int):
+    """Execute ``task`` under an injected fault.  Module-level: picklable.
+
+    The resilient executor pre-resolves which attempt this wrapper is for
+    (``Fault.affects``), so the wrapper itself is attempt-free and a
+    plain ``partial`` over it crosses process boundaries exactly like the
+    reducer tasks it wraps.
+    """
+    if kind == "crash":
+        raise InjectedFault("injected crash before task start")
+    if kind == "die":
+        if os.getpid() != driver_pid:  # pragma: no cover - kills the worker
+            os._exit(1)
+        # Refuse to kill the driver (sequential / thread execution): a
+        # hard exit here would take the whole program down, which is not
+        # the failure being simulated.  Degrade to a crash.
+        raise InjectedFault("injected worker death (refused in driver process)")
+    if kind in ("hang", "delay"):
+        time.sleep(seconds)
+    value = task()
+    if kind == "drop":
+        raise InjectedFault("injected result drop after task completion")
+    return value

@@ -25,6 +25,18 @@ cancelled (client gone, deadline passed) is dropped at dispatch time if
 it is still queued; if its batch is already running, the batch completes
 on the pool — workers are never killed mid-task, so the shared pool
 cannot be poisoned — and the orphaned result is discarded.
+
+Fault tolerance rides on :mod:`repro.mapreduce.resilient`: the warm
+executor is wrapped in a
+:class:`~repro.mapreduce.resilient.ResilientExecutor`, so a batch task
+that crashes (a dying worker, a poisoned process pool) is retried
+transparently under the config's
+:class:`~repro.mapreduce.resilient.FaultPolicy` and the re-run answers
+bit-identically (seeds bind per entry before dispatch).  A batch the
+policy cannot absorb is **isolation-split**: every coalesced request is
+re-dispatched alone, so one genuinely poisoned request fails with a
+structured error while its batch-mates still succeed — and the pool
+stays warm for the next batch either way.
 """
 
 from __future__ import annotations
@@ -42,6 +54,8 @@ from repro.mapreduce.executor import (
     SequentialExecutor,
     ThreadPoolExecutorBackend,
 )
+from repro.mapreduce.faults import FaultInjector
+from repro.mapreduce.resilient import FaultPolicy, ResilientExecutor
 from repro.serve.protocol import (
     E_INTERNAL,
     E_OVERLOADED,
@@ -94,6 +108,20 @@ class ServeConfig:
         Per-request deadline (seconds) when the request carries none.
     max_line_bytes:
         Wire-framing cap: one request line may be this long at most.
+    fault_retries, fault_timeout, speculate_after:
+        The :class:`~repro.mapreduce.resilient.FaultPolicy` the warm
+        executor enforces on every batch task: a run that crashes (or
+        exceeds ``fault_timeout`` seconds) is re-dispatched up to
+        ``fault_retries`` times, and a lone straggler running past
+        ``speculate_after`` seconds gets a speculative copy.  Runs bind
+        their seeds up-front, so a re-run answers bit-identically.  The
+        default (one retry, no timeouts) means a transiently dying
+        worker costs latency, not a failed response.
+    fault_injector:
+        Deterministic chaos hook
+        (:class:`~repro.mapreduce.faults.FaultSchedule` /
+        :class:`~repro.mapreduce.faults.RandomFaults`) consulted per
+        batch task — test/staging only; leave ``None`` in production.
     """
 
     host: str = "127.0.0.1"
@@ -110,6 +138,10 @@ class ServeConfig:
     cache_bytes: int | None = 512 * 1024 * 1024
     default_timeout: float | None = None
     max_line_bytes: int = 64 * 1024 * 1024
+    fault_retries: int = 1
+    fault_timeout: float | None = None
+    speculate_after: float | None = None
+    fault_injector: FaultInjector | None = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -121,13 +153,28 @@ class ServeConfig:
                 raise InvalidParameterError(
                     f"{name} must be >= 1, got {getattr(self, name)!r}"
                 )
+        if int(self.fault_retries) < 0:
+            raise InvalidParameterError(
+                f"fault_retries must be >= 0, got {self.fault_retries!r}"
+            )
+
+    def make_fault_policy(self) -> FaultPolicy:
+        return FaultPolicy(
+            max_retries=int(self.fault_retries),
+            task_timeout=self.fault_timeout,
+            speculate_after=self.speculate_after,
+        )
 
     def make_executor(self):
         if self.backend == "sequential":
-            return SequentialExecutor()
-        if self.backend == "thread":
-            return ThreadPoolExecutorBackend(max_workers=self.pool_size)
-        return ProcessPoolExecutorBackend(max_workers=self.pool_size)
+            inner = SequentialExecutor()
+        elif self.backend == "thread":
+            inner = ThreadPoolExecutorBackend(max_workers=self.pool_size)
+        else:
+            inner = ProcessPoolExecutorBackend(max_workers=self.pool_size)
+        return ResilientExecutor(
+            inner, self.make_fault_policy(), self.fault_injector
+        )
 
     def make_cache(self) -> DistanceCache | None:
         if not self.cache_points:
@@ -187,6 +234,7 @@ class BatchScheduler:
         self.abandoned = 0
         self.batches = 0
         self.coalesced_requests = 0
+        self.isolation_splits = 0
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -327,36 +375,88 @@ class BatchScheduler:
                     self._dispatch_pool, self._solve_group, live
                 )
             except Exception as exc:  # noqa: BLE001 - answered, not crashed
-                error = ServeError(
-                    E_INTERNAL, f"batch failed: {type(exc).__name__}: {exc}"
-                )
-                for pending in live:
-                    if not pending.future.cancelled():
-                        pending.future.set_exception(error)
-                    else:
-                        self.abandoned += 1
-                self.failed += len(live)
-                self._settle(len(live))
+                if len(live) == 1:
+                    self._fail(live[0], exc)
+                    self._settle(1)
+                    return
+                # Isolation split: one poisoned request must not take its
+                # whole coalesced batch down.  Each request re-runs alone
+                # (fresh exact summaries per run), so only the request
+                # that genuinely cannot complete gets the error.
+                self.isolation_splits += 1
+                await self._isolate(live)
                 return
             batch_seconds = time.perf_counter() - started
             for pending in live:
-                key = BatchKey(pending.request.id, pending.request.seed)
                 if pending.future.cancelled():
                     self.abandoned += 1
                     continue
-                pending.future.set_result(
-                    {
-                        "result": batch[key],
-                        "summary": batch.run_summaries[key],
-                        "queue_s": started - pending.enqueued,
-                        "batch_s": batch_seconds,
-                        "batch_runs": len(live),
-                    }
-                )
-                self.answered += 1
+                self._answer(pending, batch, started, batch_seconds, len(live))
             self._settle(len(live))
         finally:
             self._inflight.release()
+
+    def _answer(
+        self,
+        pending: _Pending,
+        batch,
+        started: float,
+        batch_seconds: float,
+        batch_runs: int,
+    ) -> None:
+        key = BatchKey(pending.request.id, pending.request.seed)
+        pending.future.set_result(
+            {
+                "result": batch[key],
+                "summary": batch.run_summaries[key],
+                "queue_s": started - pending.enqueued,
+                "batch_s": batch_seconds,
+                "batch_runs": batch_runs,
+            }
+        )
+        self.answered += 1
+
+    def _fail(self, pending: _Pending, exc: Exception) -> None:
+        error = ServeError(
+            E_INTERNAL, f"batch failed: {type(exc).__name__}: {exc}"
+        )
+        if not pending.future.cancelled():
+            pending.future.set_exception(error)
+        else:
+            self.abandoned += 1
+        self.failed += 1
+
+    async def _isolate(self, live: list[_Pending]) -> None:
+        """Re-dispatch a failed coalesced batch one request at a time.
+
+        The warm pool survives a poisoned task (the resilient executor
+        drops a broken pool and reopens; thread/sequential pools are
+        never poisoned), so sibling requests complete normally on their
+        solo re-runs — only a request that fails *alone* is answered
+        with the error.
+        """
+        for pending in live:
+            if pending.future.cancelled():
+                self.abandoned += 1
+                self._settle(1)
+                continue
+            solo_start = time.perf_counter()
+            try:
+                batch = await self._loop.run_in_executor(
+                    self._dispatch_pool, self._solve_group, [pending]
+                )
+            except Exception as exc:  # noqa: BLE001 - answered, not crashed
+                self._fail(pending, exc)
+                self._settle(1)
+                continue
+            if pending.future.cancelled():
+                self.abandoned += 1
+            else:
+                self._answer(
+                    pending, batch, solo_start,
+                    time.perf_counter() - solo_start, 1,
+                )
+            self._settle(1)
 
     def _solve_group(self, group: list[_Pending]):
         """One coalesced group as a heterogeneous ``solve_many`` batch.
@@ -391,9 +491,15 @@ class BatchScheduler:
             "abandoned": self.abandoned,
             "batches": self.batches,
             "coalesced_requests": self.coalesced_requests,
+            "isolation_splits": self.isolation_splits,
             "pending": self._pending,
             "draining": self._closed,
         }
+        if isinstance(self._executor, ResilientExecutor):
+            totals = self._executor.totals
+            out["retries"] = totals.retries
+            out["speculative_wins"] = totals.speculative_wins
+            out["wasted_task_seconds"] = totals.wasted_task_seconds
         if self.cache is not None:
             out["cache"] = self.cache.stats()
         return out

@@ -46,6 +46,8 @@ from repro.core.result import KCenterResult
 from repro.errors import InvalidParameterError
 from repro.mapreduce.accounting import BatchSummary
 from repro.mapreduce.executor import Executor, SequentialExecutor
+from repro.mapreduce.faults import FaultInjector
+from repro.mapreduce.resilient import FaultPolicy, ResilientExecutor
 from repro.metric.base import DistCounter, MetricSpace
 from repro.solvers.config import SHARED_KNOBS, UNSET, SolveConfig
 from repro.solvers.registry import SolverSpec, get_solver
@@ -92,6 +94,8 @@ def solve(
     seed: Any = UNSET,
     executor: Any = UNSET,
     evaluate: Any = UNSET,
+    fault_policy: FaultPolicy | None = None,
+    fault_injector: FaultInjector | None = None,
     **options: Any,
 ) -> KCenterResult:
     """Run one registered k-center solver on ``space``.
@@ -124,6 +128,22 @@ def solve(
         solver's own defaults apply.  Setting a knob the solver does not
         take raises :class:`~repro.errors.InvalidParameterError`
         (exception: ``seed`` is ignored by deterministic solvers).
+    fault_policy, fault_injector:
+        Fault tolerance (see :mod:`repro.mapreduce.resilient`).  When
+        either is given the run executes under a
+        :class:`~repro.mapreduce.resilient.ResilientExecutor` enforcing
+        the policy (default :class:`FaultPolicy` when only an injector
+        is passed): for MapReduce solvers the ``executor`` backend (or
+        the sequential default) is wrapped so each *round's* tasks are
+        retried / speculated individually; for single-machine solvers
+        the whole run is one resilient task.  Results under any fault
+        schedule the policy absorbs are bit-identical to the fault-free
+        run — tasks bind their randomness before dispatch, so
+        re-execution is exact, and accounting folds only winning
+        attempts.  ``fault_injector`` is the deterministic chaos hook
+        (:class:`~repro.mapreduce.faults.FaultSchedule` /
+        :class:`~repro.mapreduce.faults.RandomFaults`) used by the test
+        suite; production callers pass only a policy.
     **options:
         Solver-specific options (``phi=4.0``, ``partitioner="hash"``,
         ``first_center=0``, ...), validated against the registry spec.
@@ -157,6 +177,20 @@ def solve(
             )
         space = as_space(space, chunk_size=chunk_size)
     spec = get_solver(algorithm if algorithm is not None else "eim")
+    solo_resilient: ResilientExecutor | None = None
+    if fault_policy is not None or fault_injector is not None:
+        policy = fault_policy if fault_policy is not None else FaultPolicy()
+        if "executor" in spec.shared:
+            # MapReduce solver: wrap its round executor, so individual
+            # reducer tasks are retried/speculated and the result's
+            # RoundStats carry the fault accounting.
+            inner = executor if executor is not UNSET else None
+            executor = ResilientExecutor(inner, policy, fault_injector)
+        else:
+            # Single-machine solver: the whole run is one resilient task.
+            solo_resilient = ResilientExecutor(
+                SequentialExecutor(), policy, fault_injector
+            )
     config = SolveConfig(
         k=k,
         m=m,
@@ -166,7 +200,27 @@ def solve(
         evaluate=evaluate,
         options=options,
     )
-    return spec.fn(space, config.k, **config.kwargs_for(spec))
+    kwargs = config.kwargs_for(spec)
+    if solo_resilient is None:
+        return spec.fn(space, config.k, **kwargs)
+
+    def solo_task() -> tuple[KCenterResult, int, int, int]:
+        # Private counter per attempt: a retried run must not leave the
+        # failed attempt's evaluations in the caller's books.
+        shadow = copy.copy(space)
+        shadow.counter = DistCounter()
+        result = spec.fn(shadow, config.k, **kwargs)
+        counter = shadow.counter
+        return result, counter.evals, counter.cache_hits, counter.cache_misses
+
+    (payload,), _ = solo_resilient.run([solo_task])
+    result, evals, hits, misses = payload
+    # Fold the winning attempt's accounting into the caller's counter —
+    # the side effect a bare `spec.fn(space, ...)` call would have had.
+    space.counter.add(evals)
+    space.counter.cache_hits += hits
+    space.counter.cache_misses += misses
+    return result
 
 
 class BatchResults(dict):
@@ -289,6 +343,8 @@ def solve_many(
     m: Any = UNSET,
     capacity: Any = UNSET,
     evaluate: Any = UNSET,
+    fault_policy: FaultPolicy | None = None,
+    fault_injector: FaultInjector | None = None,
     **options: Any,
 ) -> BatchResults:
     """Run an (algorithms x seeds) batch; return ``{BatchKey: result}``.
@@ -343,6 +399,15 @@ def solve_many(
     chunk_size:
         Chunk rows when ``space`` is a file path, stream or array to be
         solved out-of-core (see :func:`solve`).
+    fault_policy, fault_injector:
+        Fault tolerance for the *batch fan-out* (see :func:`solve`): the
+        backend is wrapped in a
+        :class:`~repro.mapreduce.resilient.ResilientExecutor`, so a run
+        that crashes or stalls is re-executed — each run binds its seed
+        up-front and evaluates into a private counter, so the re-run is
+        bit-identical and only the winning attempt is accounted.  Retry /
+        speculation / wasted-time numbers land in each run's
+        ``run_summaries`` entry and the merged ``summary``.
     m, capacity, evaluate, **options:
         Batch-wide knobs/options, applied to each solver that accepts
         them and skipped for those that do not (so one batch can mix
@@ -381,6 +446,12 @@ def solve_many(
         )
 
     backend = executor if executor is not None else SequentialExecutor()
+    if fault_policy is not None or fault_injector is not None:
+        backend = ResilientExecutor(
+            backend,
+            fault_policy if fault_policy is not None else FaultPolicy(),
+            fault_injector,
+        )
     keys: list[BatchKey] = []
     tasks = []
     for spec, entry_opts in entries:
@@ -433,9 +504,14 @@ def solve_many(
         outputs, times = backend.run(
             [partial(_run_one, task_space, *args, cache) for args in tasks]
         )
+    fault_stats = (
+        backend.pop_round_stats()
+        if isinstance(backend, ResilientExecutor)
+        else None
+    )
 
     run_summaries: dict[BatchKey, BatchSummary] = {}
-    for key, out, seconds in zip(keys, outputs, times):
+    for i, (key, out, seconds) in enumerate(zip(keys, outputs, times)):
         stats = out.result.stats
         run_summaries[key] = BatchSummary(
             runs=1,
@@ -445,6 +521,13 @@ def solve_many(
             cache_hits=out.cache_hits,
             cache_misses=out.cache_misses,
             solver_rounds=stats.n_rounds if stats is not None else 0,
+            retries=fault_stats.per_task_retries[i] if fault_stats else 0,
+            speculative_wins=(
+                fault_stats.per_task_speculative_wins[i] if fault_stats else 0
+            ),
+            wasted_task_seconds=(
+                fault_stats.per_task_wasted_seconds[i] if fault_stats else 0.0
+            ),
         )
     summary = BatchSummary.merged(run_summaries.values())
     return BatchResults(

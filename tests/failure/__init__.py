@@ -1,0 +1,18 @@
+"""Failure-injection suite: malformed inputs, degenerate geometries,
+and deterministic execution faults (crashes, hangs, stragglers, worker
+death) driven through every executor backend.
+
+Modules
+-------
+test_malformed
+    Data-level failures: non-finite coordinates, bad shapes, collapsed
+    and extreme geometries.  Every algorithm must handle them or fail
+    loudly with a library error.
+test_execution_faults
+    Infrastructure-level failures injected via
+    :mod:`repro.mapreduce.faults` and absorbed (or surfaced as
+    structured errors) by :class:`repro.mapreduce.resilient.ResilientExecutor`.
+test_bit_parity
+    The acceptance gate: any absorbable fault schedule leaves every
+    registered solver bit-identical to its fault-free sequential run.
+"""

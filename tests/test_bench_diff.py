@@ -1,0 +1,127 @@
+"""The BENCH trajectory diff tool: gates, tolerances, vacuous passes."""
+
+import json
+
+import pytest
+
+from benchmarks.bench_diff import FAIL, PASS, USAGE, load_records, main
+
+
+def perf_payload(records):
+    return {"bench": 5, "schema": "repro-perf-v1", "records": records}
+
+
+def cell(**overrides):
+    record = {
+        "workload": "mrg",
+        "backing": "in-memory",
+        "executor": "sequential",
+        "n": 4000,
+        "k": 8,
+        "m": 8,
+        "wall_s": 1.0,
+        "dist_evals": 123456,
+        "radius": 2.5,
+        "peak_rss_kb": 100_000,
+    }
+    record.update(overrides)
+    return record
+
+
+@pytest.fixture
+def write(tmp_path):
+    def _write(name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    return _write
+
+
+class TestGates:
+    def test_identical_trajectories_pass(self, write, capsys):
+        a = write("a.json", perf_payload([cell()]))
+        b = write("b.json", perf_payload([cell()]))
+        assert main([a, b]) == PASS
+        assert "PASS" in capsys.readouterr().out
+
+    def test_dist_evals_divergence_fails(self, write, capsys):
+        a = write("a.json", perf_payload([cell()]))
+        b = write("b.json", perf_payload([cell(dist_evals=123457)]))
+        assert main([a, b]) == FAIL
+        assert "dist_evals" in capsys.readouterr().err
+
+    def test_radius_divergence_fails(self, write, capsys):
+        a = write("a.json", perf_payload([cell()]))
+        b = write("b.json", perf_payload([cell(radius=2.5000001)]))
+        assert main([a, b]) == FAIL
+        assert "radius" in capsys.readouterr().err
+
+    def test_rss_within_tolerance_passes(self, write):
+        a = write("a.json", perf_payload([cell()]))
+        b = write("b.json", perf_payload([cell(peak_rss_kb=150_000)]))
+        assert main([a, b]) == PASS
+
+    def test_rss_blowup_fails(self, write, capsys):
+        a = write("a.json", perf_payload([cell()]))
+        b = write("b.json", perf_payload([cell(peak_rss_kb=250_000)]))
+        assert main([a, b]) == FAIL
+        assert "peak_rss_kb" in capsys.readouterr().err
+
+    def test_wall_regression_is_report_only_by_default(self, write, capsys):
+        a = write("a.json", perf_payload([cell()]))
+        b = write("b.json", perf_payload([cell(wall_s=10.0)]))
+        assert main([a, b]) == PASS
+        assert "wall" in capsys.readouterr().out
+
+    def test_wall_tol_opts_into_a_gate(self, write, capsys):
+        a = write("a.json", perf_payload([cell()]))
+        b = write("b.json", perf_payload([cell(wall_s=10.0)]))
+        assert main([a, b, "--wall-tol", "1.5"]) == FAIL
+        assert "tolerance 1.5x" in capsys.readouterr().err
+
+
+class TestSchemas:
+    def test_cross_schema_diff_is_a_vacuous_pass(self, write, capsys):
+        perf = write("perf.json", perf_payload([cell()]))
+        serve = write(
+            "serve.json",
+            {
+                "bench": 6,
+                "schema": "repro-serve-v1",
+                "records": [
+                    {"phase": "small-burst", "n": 512, "wall_s": 0.5}
+                ],
+            },
+        )
+        assert main([perf, serve]) == PASS
+        assert "no comparable cells" in capsys.readouterr().out
+
+    def test_new_and_removed_cells_are_reported_not_gated(self, write, capsys):
+        a = write("a.json", perf_payload([cell()]))
+        b = write(
+            "b.json",
+            perf_payload([cell(), cell(workload="gon", m=None)]),
+        )
+        assert main([a, b]) == PASS
+        assert "only in new trajectory" in capsys.readouterr().out
+
+    def test_duplicate_cell_is_a_usage_error(self, write, capsys):
+        bad = write("bad.json", perf_payload([cell(), cell()]))
+        good = write("good.json", perf_payload([cell()]))
+        assert main([bad, good]) == USAGE
+        assert "duplicate cell" in capsys.readouterr().err
+
+    def test_missing_file_is_a_usage_error(self, write, capsys):
+        a = write("a.json", perf_payload([cell()]))
+        assert main([a, str(a) + ".does-not-exist"]) == USAGE
+
+    def test_load_records_skips_foreign_schemas(self, write, tmp_path):
+        path = tmp_path / "mixed.json"
+        path.write_text(
+            json.dumps(
+                perf_payload([cell(), {"phase": "serve-only", "wall_s": 1.0}])
+            )
+        )
+        cells = load_records(path)
+        assert len(cells) == 1

@@ -125,3 +125,78 @@ class TestBatchSummary:
         from repro.mapreduce.accounting import BatchSummary
 
         assert BatchSummary.merged([]) == BatchSummary()
+
+
+class TestSchemaStability:
+    """The fault-tolerance fields are additive: new records round-trip
+    exactly, and records written *before* the fields existed (old
+    ``BENCH_*.json`` files, archived serve responses) still parse with
+    zero-valued fault accounting."""
+
+    def _round(self) -> RoundStats:
+        return RoundStats(
+            "mrg.reduce[1]",
+            task_times=[0.1, 0.2],
+            task_sizes=[5, 5],
+            shuffle_elements=10,
+            dist_evals=100,
+            retries=2,
+            speculative_wins=1,
+            wasted_task_seconds=0.05,
+        )
+
+    def test_round_stats_round_trip_is_exact(self):
+        stats = self._round()
+        assert RoundStats.from_dict(stats.to_dict()) == stats
+
+    def test_round_stats_old_schema_parses_with_zero_fault_fields(self):
+        old = self._round().to_dict()
+        for field in ("retries", "speculative_wins", "wasted_task_seconds"):
+            del old[field]
+        stats = RoundStats.from_dict(old)
+        assert stats.dist_evals == 100
+        assert stats.retries == 0
+        assert stats.speculative_wins == 0
+        assert stats.wasted_task_seconds == 0.0
+
+    def test_round_stats_from_dict_ignores_future_fields(self):
+        data = self._round().to_dict()
+        data["a_future_field"] = "whatever"
+        assert RoundStats.from_dict(data) == self._round()
+
+    def test_job_stats_sum_fault_fields_across_rounds(self):
+        job = JobStats()
+        job.add(self._round())
+        job.add(self._round())
+        assert job.retries == 4
+        assert job.speculative_wins == 2
+        assert job.wasted_task_seconds == pytest.approx(0.1)
+        # The experiment-record schema is frozen: fault accounting rides
+        # on properties, not new summary() keys.
+        assert "retries" not in job.summary()
+
+    def test_batch_summary_old_json_parses(self):
+        from repro.mapreduce.accounting import BatchSummary
+
+        new = BatchSummary(
+            runs=1, dist_evals=9, retries=3, speculative_wins=1,
+            wasted_task_seconds=0.2,
+        )
+        wire = new.to_dict()
+        assert wire["retries"] == 3
+        for field in ("retries", "speculative_wins", "wasted_task_seconds"):
+            del wire[field]
+        old = BatchSummary.from_dict(wire)
+        assert old.dist_evals == 9
+        assert old.retries == 0 and old.wasted_task_seconds == 0.0
+
+    def test_batch_summary_merged_accumulates_fault_fields(self):
+        from repro.mapreduce.accounting import BatchSummary
+
+        a = BatchSummary(runs=1, retries=1, wasted_task_seconds=0.1)
+        b = BatchSummary(runs=1, retries=2, speculative_wins=1,
+                         wasted_task_seconds=0.3)
+        merged = BatchSummary.merged([a, b])
+        assert merged.retries == 3
+        assert merged.speculative_wins == 1
+        assert merged.wasted_task_seconds == pytest.approx(0.4)

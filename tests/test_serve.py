@@ -18,6 +18,7 @@ import pytest
 
 import repro
 from repro.errors import InvalidParameterError
+from repro.mapreduce.faults import ALWAYS, Fault, FaultSchedule
 from repro.serve import (
     E_BAD_JSON,
     E_BAD_REQUEST,
@@ -354,6 +355,144 @@ class TestFailurePaths:
                 _assert_result_matches(served["result"], direct)
                 stats = client.stats()
         assert stats["failed"] == 0
+
+
+# ---------------------------------------------------------------------- #
+# fault tolerance: crashes inside coalesced batches
+# ---------------------------------------------------------------------- #
+class TestFaultTolerance:
+    """The serving side of the resilience contract: a worker crash inside
+    a coalesced batch costs latency — never a sibling request's answer,
+    never the warm pool, and never bit-parity with the direct solve."""
+
+    def _pipelined(self, h, rows, jobs):
+        """Send ``jobs`` down one connection inside one batch window;
+        return responses by id (submission order = batch task order)."""
+        with h.client() as client:
+            for req_id, algo, k, seed, opts in jobs:
+                client.send(
+                    {
+                        "op": "solve",
+                        "id": req_id,
+                        "algo": algo,
+                        "k": k,
+                        "seed": seed,
+                        "points": rows.tolist(),
+                        "options": opts,
+                    }
+                )
+            responses = {}
+            for _ in jobs:
+                resp = client.recv()
+                responses[resp["id"]] = resp
+            stats = client.stats()
+        return responses, stats
+
+    def test_transient_crash_inside_batch_is_absorbed(self, rows):
+        # Task 1 of the coalesced batch crashes once; the default policy
+        # (one retry) absorbs it and every answer stays bit-identical.
+        config = ServeConfig(
+            backend="thread",
+            pool_size=2,
+            batch_window=0.25,
+            fault_injector=FaultSchedule({(None, 1): Fault("crash")}),
+        )
+        jobs = [(f"c{i}", "gon", 3 + i, i, {}) for i in range(3)]
+        with ServerHandle(config) as h:
+            responses, stats = self._pipelined(h, rows, jobs)
+        assert stats["batches"] == 1 and stats["coalesced_requests"] == 3
+        assert stats["failed"] == 0
+        assert stats["retries"] >= 1
+        for req_id, algo, k, seed, opts in jobs:
+            assert responses[req_id]["ok"], responses[req_id]
+            direct = repro.solve(rows, k, algo, seed=seed, **opts)
+            _assert_result_matches(responses[req_id]["result"], direct)
+        # The victim's own summary carries its retry accounting.
+        summaries = {
+            rid: resp["accounting"]["summary"] for rid, resp in responses.items()
+        }
+        assert summaries["c1"]["retries"] == 1
+        assert summaries["c0"]["retries"] == 0
+
+    def test_exhausted_batch_is_isolation_split(self, rows):
+        # Task 1 crashes on *every* attempt: the batch itself cannot
+        # complete, so the scheduler re-dispatches each request alone.
+        # Solo, the victim is task 0 — the injected fault (an infra
+        # failure pinned to slot 1) no longer hits it, so everyone
+        # still gets a bit-identical answer and the pool stays warm.
+        config = ServeConfig(
+            backend="thread",
+            pool_size=2,
+            batch_window=0.25,
+            fault_injector=FaultSchedule(
+                {(None, 1): Fault("crash", times=ALWAYS)}
+            ),
+        )
+        jobs = [(f"s{i}", "gon", 3 + i, i, {}) for i in range(3)]
+        with ServerHandle(config) as h:
+            responses, stats = self._pipelined(h, rows, jobs)
+            # Pool stays warm: a follow-up request succeeds normally.
+            with h.client() as client:
+                again = client.solve("gon", 4, points=rows, seed=9)
+                assert again["ok"]
+        assert stats["isolation_splits"] == 1
+        assert stats["failed"] == 0
+        for req_id, algo, k, seed, opts in jobs:
+            assert responses[req_id]["ok"], responses[req_id]
+            direct = repro.solve(rows, k, algo, seed=seed, **opts)
+            _assert_result_matches(responses[req_id]["result"], direct)
+
+    def test_poisoned_request_fails_alone_siblings_succeed(self, rows):
+        # A request that *deterministically* cannot complete (capacity
+        # too small for its mrg round) poisons its coalesced batch; the
+        # isolation split answers its siblings bit-identically and only
+        # the doomed request gets the structured error.
+        config = ServeConfig(backend="thread", pool_size=2, batch_window=0.25)
+        jobs = [
+            ("ok0", "gon", 4, 0, {}),
+            ("bad", "mrg", 4, 1, {"m": 4, "capacity": 5}),
+            ("ok1", "gon", 5, 2, {}),
+        ]
+        with ServerHandle(config) as h:
+            responses, stats = self._pipelined(h, rows, jobs)
+            with h.client() as client:
+                assert client.solve("gon", 3, points=rows, seed=5)["ok"]
+        assert stats["isolation_splits"] == 1
+        assert stats["failed"] == 1
+        assert stats["answered"] >= 2
+        assert responses["bad"]["ok"] is False
+        assert "CapacityError" in responses["bad"]["error"]["message"]
+        for req_id, algo, k, seed, opts in jobs:
+            if req_id == "bad":
+                continue
+            direct = repro.solve(rows, k, algo, seed=seed, **opts)
+            _assert_result_matches(responses[req_id]["result"], direct)
+
+    def test_worker_death_in_process_batch_recovers(self, rows):
+        # The real thing: a process-pool worker dies mid-batch
+        # (os._exit), breaking the shared pool.  The resilient executor
+        # drops the corpse, reopens, re-dispatches — every request in
+        # the batch still answers bit-identically, and the next batch
+        # runs on the re-warmed pool.
+        config = ServeConfig(
+            backend="process",
+            pool_size=2,
+            batch_window=0.3,
+            fault_retries=2,
+            fault_injector=FaultSchedule({(None, 1): Fault("die")}),
+        )
+        jobs = [(f"w{i}", "gon", 3 + i, i, {}) for i in range(3)]
+        with ServerHandle(config) as h:
+            responses, stats = self._pipelined(h, rows, jobs)
+            with h.client() as client:
+                again = client.solve("gon", 4, points=rows, seed=9)
+                assert again["ok"]
+        assert stats["failed"] == 0
+        assert stats["retries"] >= 1
+        for req_id, algo, k, seed, opts in jobs:
+            assert responses[req_id]["ok"], responses[req_id]
+            direct = repro.solve(rows, k, algo, seed=seed, **opts)
+            _assert_result_matches(responses[req_id]["result"], direct)
 
 
 # ---------------------------------------------------------------------- #
