@@ -24,6 +24,12 @@ Usage::
 
     python benchmarks/bench_diff.py OLD.json NEW.json [--rss-tol 2.0]
                                                       [--wall-tol 1.5]
+                                                      [--skip FIELD ...]
+
+``--skip FIELD`` (repeatable) drops one gate entirely — the PR-over-PR
+CI diff against ``benchmarks/baseline/BENCH_ref.json`` skips ``radius``
+(float bits legitimately differ across BLAS builds) while keeping the
+portable ``dist_evals`` identity gate.
 """
 
 from __future__ import annotations
@@ -63,25 +69,33 @@ def diff_cells(
     new: dict[tuple, dict],
     rss_tol: float = 2.0,
     wall_tol: float | None = None,
+    skip: tuple[str, ...] = (),
 ) -> tuple[list[str], list[str]]:
-    """Compare shared cells; return (report lines, gate failures)."""
+    """Compare shared cells; return (report lines, gate failures).
+
+    ``skip`` names gate fields to ignore entirely — e.g. ``("radius",)``
+    when diffing trajectories produced on different BLAS builds, where
+    float reductions legitimately differ in the last bits.
+    """
     lines: list[str] = []
     failures: list[str] = []
     shared = sorted(set(old) & set(new))
     for key in shared:
         a, b = old[key], new[key]
         cell = fmt_key(key)
-        if a.get("dist_evals") != b.get("dist_evals"):
+        if "dist_evals" not in skip and a.get("dist_evals") != b.get("dist_evals"):
             failures.append(
                 f"{cell}: dist_evals {a.get('dist_evals')} -> "
                 f"{b.get('dist_evals')} (identity gate)"
             )
-        if a.get("radius") != b.get("radius"):
+        if "radius" not in skip and a.get("radius") != b.get("radius"):
             failures.append(
                 f"{cell}: radius {a.get('radius')!r} -> "
                 f"{b.get('radius')!r} (identity gate)"
             )
         rss_a, rss_b = a.get("peak_rss_kb"), b.get("peak_rss_kb")
+        if "peak_rss_kb" in skip:
+            rss_a = rss_b = None
         if rss_a and rss_b:
             ratio = rss_b / rss_a
             if ratio > rss_tol:
@@ -90,6 +104,8 @@ def diff_cells(
                     f"({ratio:.2f}x > tolerance {rss_tol}x)"
                 )
         wall_a, wall_b = a.get("wall_s"), b.get("wall_s")
+        if "wall_s" in skip:
+            wall_a = wall_b = None
         if wall_a and wall_b:
             speed = wall_b / wall_a
             note = f"{cell}: wall {wall_a:.3f}s -> {wall_b:.3f}s ({speed:.2f}x)"
@@ -128,6 +144,16 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="gate on new/old wall-clock ratio (default: report only)",
     )
+    parser.add_argument(
+        "--skip",
+        action="append",
+        default=[],
+        choices=["dist_evals", "radius", "peak_rss_kb", "wall_s"],
+        metavar="FIELD",
+        help="ignore one gate field entirely, repeatable (e.g. --skip "
+             "radius when the trajectories come from different BLAS "
+             "builds)",
+    )
     args = parser.parse_args(argv)
     for path in (args.old, args.new):
         if not path.is_file():
@@ -140,7 +166,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"bench_diff: {exc}", file=sys.stderr)
         return USAGE
     lines, failures = diff_cells(
-        old, new, rss_tol=args.rss_tol, wall_tol=args.wall_tol
+        old, new, rss_tol=args.rss_tol, wall_tol=args.wall_tol,
+        skip=tuple(args.skip),
     )
     for line in lines:
         print(line)

@@ -1,10 +1,17 @@
 """Perf harness — the machine-readable trajectory of the execution engine.
 
 Times the canonical figure-style workloads on every executor backend and
-writes ``BENCH_5.json`` at the repo root: wall-clock, distance
+writes ``BENCH_8.json`` at the repo root: wall-clock, distance
 evaluations, peak RSS and per-round parallel/cpu time for each
 (workload, executor) cell.  Future PRs append ``BENCH_<n>.json`` files
-and get a trajectory to beat; this file seeds it.
+and get a trajectory to beat; ``benchmarks/baseline/BENCH_ref.json``
+holds the committed PR-over-PR reference that CI diffs against.
+
+The ``mrg-obs`` cells run the same MRG workload with full observability
+on — an activated tracer plus the enabled metrics registry — and must
+stay bit-identical to the plain cells; ``test_obs_overhead_gate``
+bounds the instrumentation overhead through the ``bench_diff`` wall
+gate.
 
 Workloads (sizes capped by ``REPRO_BENCH_MAX_N`` for the CI smoke):
 
@@ -42,9 +49,11 @@ from repro.mapreduce.executor import (
     ThreadPoolExecutorBackend,
 )
 from repro.metric.euclidean import EuclideanSpace
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.store import ChunkedMetricSpace, GeneratorStream, write_shards
 
-BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_5.json"
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_8.json"
 
 K = 10
 DIM = 3
@@ -137,9 +146,23 @@ def _run_mr(algorithm):
     return run
 
 
+def _run_mr_obs(algorithm):
+    """The same MR workload with the full observability stack enabled."""
+    inner = _run_mr(algorithm)
+
+    def run(space, executor):
+        tracer = obs_trace.Tracer()
+        with obs_metrics.capture(), obs_trace.activate(tracer):
+            record, parity = inner(space, executor)
+        record["spans"] = len(tracer.spans)
+        return record, parity
+
+    return run
+
+
 def test_perf_trajectory(artifact_dir, tmp_path_factory):
     """Time every (workload, executor) cell; enforce bit-parity; write
-    ``BENCH_5.json``."""
+    ``BENCH_8.json``."""
     tmp = tmp_path_factory.mktemp("perf")
     rng = np.random.default_rng(2016)
     gon_points = rng.normal(size=(N_GON, DIM))
@@ -167,6 +190,13 @@ def test_perf_trajectory(artifact_dir, tmp_path_factory):
         # (name, backing, n, make_space, runner)
         ("gon", "in-memory", N_GON, lambda: EuclideanSpace(gon_points), _run_gon),
         ("mrg", "in-memory", N_MR, lambda: EuclideanSpace(mr_points), _run_mr("mrg")),
+        (
+            "mrg-obs",
+            "in-memory",
+            N_MR,
+            lambda: EuclideanSpace(mr_points),
+            _run_mr_obs("mrg"),
+        ),
         ("mrg", "sharded", N_MR, lambda: ChunkedMetricSpace(mr_shards), _run_mr("mrg")),
         (
             "mrhs",
@@ -207,17 +237,19 @@ def test_perf_trajectory(artifact_dir, tmp_path_factory):
             records.append(record)
             # The engine contract: the sequential in-memory cell is the
             # reference; every other (executor, backing) combination of
-            # the same workload must reproduce its exact bits.
-            if backing == "in-memory" and exec_name == "sequential":
+            # the same workload must reproduce its exact bits — the
+            # obs-on cells included (tracing must be result-neutral).
+            base = name.removesuffix("-obs")
+            if name == base and backing == "in-memory" and exec_name == "sequential":
                 references[name] = parity
             else:
-                assert parity == references[name], (
+                assert parity == references[base], (
                     f"{name}[{backing}/{exec_name}] diverged from the "
                     "sequential in-memory reference"
                 )
 
     payload = {
-        "bench": 5,
+        "bench": 8,
         "schema": "repro-perf-v1",
         "python": platform.python_version(),
         "numpy": np.__version__,
@@ -249,7 +281,7 @@ def test_perf_trajectory(artifact_dir, tmp_path_factory):
         format_table(
             ["workload", "executor", "n", "wall (s)", "dist evals", "peak RSS (MiB)"],
             rows,
-            title="execution-engine perf trajectory (BENCH_5)",
+            title="execution-engine perf trajectory (BENCH_8)",
         ),
     )
 
@@ -288,3 +320,45 @@ def test_persistent_pool_not_slower_than_respawn(tmp_path_factory):
     assert persistent <= respawn * 1.5 + 0.1, (
         f"persistent pool {persistent:.3f}s vs per-round spawn {respawn:.3f}s"
     )
+
+
+def test_obs_overhead_gate():
+    """Full observability must cost <3% wall on the MRG workload.
+
+    Runs the same in-memory MRG solve with observability off and on
+    (activated tracer + enabled metrics registry), min-of-5 each, and
+    pushes the pair through the ``bench_diff`` wall gate at 1.03x —
+    the exact comparison CI applies across trajectory files.  Timings
+    are floored at 250ms before the ratio: below that, smoke-size runs
+    are scheduler noise and a 3% relative gate would be vacuous flake
+    (the uncapped bench run is where the floor never engages).
+    """
+    from benchmarks.bench_diff import diff_cells
+
+    n = min(20_000, N_MR)
+    points = np.random.default_rng(13).normal(size=(n, DIM))
+    floor = 0.25
+
+    def timed(obs: bool) -> tuple[float, tuple]:
+        best, parity = float("inf"), None
+        runner = (_run_mr_obs if obs else _run_mr)("mrg")
+        for _ in range(5):
+            record, parity = runner(EuclideanSpace(points), SequentialExecutor())
+            best = min(best, record["wall_s"])
+        return best, parity
+
+    wall_off, parity_off = timed(obs=False)
+    wall_on, parity_on = timed(obs=True)
+    assert parity_on == parity_off, "observability perturbed the result"
+
+    cell_key = ("mrg", "in-memory", "sequential", n, K, M_MR)
+    cell = dict(zip(("workload", "backing", "executor", "n", "k", "m"), cell_key))
+    off = {cell_key: {**cell, "wall_s": max(wall_off, floor)}}
+    on = {cell_key: {**cell, "wall_s": max(wall_on, floor)}}
+    lines, failures = diff_cells(off, on, wall_tol=1.03)
+    assert not failures, (
+        f"obs overhead above 3%: off={wall_off:.4f}s on={wall_on:.4f}s "
+        f"({failures})"
+    )
+    print(f"\n[obs overhead: off={wall_off:.4f}s on={wall_on:.4f}s "
+          f"({wall_on / wall_off - 1:+.2%})]")

@@ -274,6 +274,7 @@ def _run_serve_command(args: argparse.Namespace) -> int:
     config = ServeConfig(
         host=args.host,
         port=args.port,
+        metrics_port=args.metrics_port,
         backend=args.backend,
         pool_size=args.pool_size,
         max_queue=args.max_queue,
@@ -282,6 +283,10 @@ def _run_serve_command(args: argparse.Namespace) -> int:
         cache_points=args.cache_points,
         default_timeout=args.timeout,
     )
+    if args.log_json:
+        from repro.obs import logs as _logs
+
+        _logs.configure()
 
     async def main() -> None:
         server = KCenterServer(config)
@@ -293,6 +298,13 @@ def _run_serve_command(args: argparse.Namespace) -> int:
             f"max_points={config.max_points}, cache_points={config.cache_points})",
             flush=True,
         )
+        if server.metrics_address is not None:
+            mhost, mport = server.metrics_address
+            print(
+                f"repro-kcenter serve: metrics on "
+                f"http://{mhost}:{mport}/metrics",
+                flush=True,
+            )
         try:
             await server.serve_forever()
         finally:
@@ -316,6 +328,11 @@ def _run_solve_command(args: argparse.Namespace) -> int:
         return 0
     spec = get_solver(args.algorithm)  # fail fast, before generating data
     if args.connect is not None:
+        if args.trace is not None:
+            raise InvalidParameterError(
+                "--trace renders the in-process timeline; it cannot follow "
+                "a request to a remote server (drop --connect)"
+            )
         return _run_remote_solve(args, spec)
     flags = {"m": "--m", "capacity": "--capacity", "seed": "--seed",
              "evaluate": "--no-evaluate"}
@@ -390,6 +407,12 @@ def _run_solve_command(args: argparse.Namespace) -> int:
                 _progress(f"{args.dataset}: n={dataset.n}, dim={dataset.dim}")
         if not args.quiet:
             _progress(f"solving with {spec.name} (kind={spec.kind}), k={args.k}")
+        tracer = None
+        if args.trace is not None:
+            from repro.obs import trace as _trace
+
+            tracer = _trace.Tracer(detail=args.trace_detail)
+            stack.enter_context(_trace.activate(tracer))
         result = solve(
             space,
             args.k,
@@ -400,6 +423,13 @@ def _run_solve_command(args: argparse.Namespace) -> int:
             evaluate=False if args.no_evaluate else UNSET,
             **dict(args.opt),
         )
+    if tracer is not None:
+        tracer.export_chrome(args.trace)
+        if not args.quiet:
+            _progress(
+                f"trace: {len(tracer.spans)} spans -> {args.trace} "
+                f"(chrome://tracing / https://ui.perfetto.dev)"
+            )
     summary = result.summary()
     rows = [[key, format_value(value)] for key, value in summary.items()]
     print(
@@ -478,6 +508,17 @@ def main(argv: list[str] | None = None) -> int:
     solve_cmd.add_argument("--quiet", action="store_true",
                            help="suppress progress lines")
     solve_cmd.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record an execution trace of the solve and write it as "
+             "Chrome trace-event JSON (open in chrome://tracing or "
+             "https://ui.perfetto.dev); in-process solves only",
+    )
+    solve_cmd.add_argument(
+        "--trace-detail", choices=["task", "block"], default="task",
+        help="trace granularity: per-task spans (default) or also "
+             "per-kernel-block spans (verbose)",
+    )
+    solve_cmd.add_argument(
         "--connect", metavar="HOST:PORT", default=None,
         help="send the request to a running job server (repro-kcenter "
              "serve) instead of solving in-process; --data paths must be "
@@ -515,6 +556,15 @@ def main(argv: list[str] | None = None) -> int:
         "--timeout", type=float, default=None,
         help="default per-request deadline in seconds (requests may "
              "override; default: none)",
+    )
+    serve_cmd.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="also bind a plain-HTTP Prometheus scrape listener on this "
+             "port (GET /metrics; 0 picks an ephemeral port; default: off)",
+    )
+    serve_cmd.add_argument(
+        "--log-json", action="store_true",
+        help="emit structured JSON logs (one object per line) on stderr",
     )
     run = sub.add_parser("run", help="run one experiment and print its table/figure")
     run.add_argument("experiment", choices=sorted(EXPERIMENT_IDS))

@@ -29,8 +29,25 @@ from repro.errors import CapacityError, InvalidParameterError, TaskFailedError
 from repro.mapreduce.accounting import JobStats, RoundStats
 from repro.mapreduce.executor import Executor, SequentialExecutor
 from repro.metric.base import DistCounter
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 
 __all__ = ["SimulatedCluster", "TaskOutput"]
+
+_M_ROUNDS = _metrics.counter(
+    "repro_rounds_total", "MapReduce rounds executed", ("round",)
+)
+_M_ROUND_PARALLEL = _metrics.histogram(
+    "repro_round_parallel_seconds",
+    "Simulated parallel time per round (slowest task)",
+    ("round",),
+)
+_M_ROUND_TASKS = _metrics.histogram(
+    "repro_round_tasks",
+    "Tasks dispatched per round",
+    ("round",),
+    buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+)
 
 
 @dataclass
@@ -46,10 +63,15 @@ class TaskOutput:
     the watched counter on the driver; callers receive the unwrapped
     ``value``.  Round accounting is then identical on sequential, thread
     and process backends.
+
+    ``spans`` rides worker-side trace spans back over the same route
+    (see :mod:`repro.obs.trace`); it is ``None`` for untraced runs so
+    existing pickles and equality semantics are unchanged.
     """
 
     value: Any
     dist_evals: int = 0
+    spans: list | None = None
 
 
 class SimulatedCluster:
@@ -133,9 +155,39 @@ class SimulatedCluster:
         for size in task_sizes:
             self.check_fits(int(size), what=f"round {label!r} task input")
 
+        tracer = _trace.current_tracer()
+        sink = None
+        if tracer is not None:
+            # Live sinks are closures and cannot cross a pickle boundary;
+            # process workers fold their spans back at commit time instead.
+            if tracer.on_span is not None and not getattr(
+                self.executor, "crosses_process_boundary", False
+            ):
+                sink = tracer.on_span
+            tasks = [
+                _trace.wrap_task(
+                    task,
+                    _trace.TaskTraceContext(
+                        run_id=tracer.run_id,
+                        name=f"{label}[{t}]",
+                        index=t,
+                        detail=tracer.detail,
+                        args=(("round", label),),
+                    ),
+                    sink,
+                )
+                for t, task in enumerate(tasks)
+            ]
+
         evals_before = self.dist_counter.evals if self.dist_counter else 0
+        round_span = (
+            tracer.span(label, cat="round", tasks=len(tasks))
+            if tracer is not None
+            else _trace.NULL_SPAN
+        )
         try:
-            results, times = self.executor.run(tasks)
+            with round_span:
+                results, times = self.executor.run(tasks)
         except TaskFailedError as exc:
             # A task exhausted its fault-tolerance budget: stamp the round
             # so the error names the unit of work, not just an index.
@@ -147,6 +199,11 @@ class SimulatedCluster:
             if isinstance(result, TaskOutput):
                 if self.dist_counter is not None:
                     self.dist_counter.add(result.dist_evals)
+                if tracer is not None and result.spans:
+                    # Commit point: only winning attempts reach this loop,
+                    # so exactly one task span per task is ever folded.
+                    # notify=False when a live sink already saw them.
+                    tracer.fold(result.spans, notify=sink is None)
                 results[t] = result.value
         evals_after = self.dist_counter.evals if self.dist_counter else 0
 
@@ -170,6 +227,13 @@ class SimulatedCluster:
                 round_stats.speculative_wins = fault_stats.speculative_wins
                 round_stats.wasted_task_seconds = fault_stats.wasted_task_seconds
         self.stats.add(round_stats)
+        if _metrics.REGISTRY.enabled:
+            # Bracketed suffixes ("mrg.round1[3]") are stripped so the
+            # label set stays bounded for scrapers.
+            series = label.partition("[")[0]
+            _M_ROUNDS.labels(round=series).inc()
+            _M_ROUND_PARALLEL.labels(round=series).observe(round_stats.parallel_time)
+            _M_ROUND_TASKS.labels(round=series).observe(len(tasks))
         return results
 
     def reset_stats(self) -> None:

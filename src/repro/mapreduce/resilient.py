@@ -53,11 +53,34 @@ from typing import Any, Callable, NamedTuple, Sequence
 from repro.errors import InvalidParameterError, TaskFailedError
 from repro.mapreduce.executor import Executor, SequentialExecutor
 from repro.mapreduce.faults import Fault, FaultInjector, apply_fault
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 
 import os
 from functools import partial
 
 __all__ = ["FaultPolicy", "RoundFaultStats", "ResilientExecutor"]
+
+_M_RETRIES = _metrics.counter(
+    "repro_task_retries_total", "Task attempts re-dispatched after a failure"
+)
+_M_SPEC_LAUNCHES = _metrics.counter(
+    "repro_speculative_launches_total",
+    "Speculative / duplicate task copies launched",
+)
+_M_SPEC_WINS = _metrics.counter(
+    "repro_speculative_wins_total", "Rounds won by a speculative copy"
+)
+_M_WASTED = _metrics.counter(
+    "repro_wasted_task_seconds_total",
+    "Wall-clock seconds spent on attempts whose results were discarded",
+)
+_M_FAULTS = _metrics.counter(
+    "repro_faults_injected_total", "Faults injected by a configured injector"
+)
+_M_POOL_RESTARTS = _metrics.counter(
+    "repro_pool_restarts_total", "Worker pools dropped and reopened after breaking"
+)
 
 
 @dataclass(frozen=True)
@@ -169,6 +192,36 @@ class _Attempt(NamedTuple):
     speculative: bool
 
 
+def _abandoned_span(
+    tracer: "_trace.Tracer | None",
+    index: int,
+    attempt: int,
+    started: float,
+    seconds: float,
+    reason: str,
+    speculative: bool,
+) -> None:
+    """Record one losing attempt on the driver timeline.
+
+    Losing attempts never fold their worker-side spans (their results are
+    discarded before the commit point), so this driver-side ``attempt``
+    span — annotated ``abandoned=True`` — is the only trace they leave.
+    """
+    if tracer is None:
+        return
+    tracer.emit(
+        f"attempt[{index}]#{attempt}",
+        cat="attempt",
+        start=started,
+        duration=seconds,
+        task=index,
+        attempt=attempt,
+        abandoned=True,
+        speculative=speculative,
+        reason=reason,
+    )
+
+
 class ResilientExecutor:
     """Fault-tolerant wrapper composing with any :class:`Executor` backend.
 
@@ -274,6 +327,17 @@ class ResilientExecutor:
         finally:
             with self._totals_lock:
                 self.totals.fold(stats)
+            if _metrics.REGISTRY.enabled:
+                if stats.retries:
+                    _M_RETRIES.inc(stats.retries)
+                if stats.speculative_launches:
+                    _M_SPEC_LAUNCHES.inc(stats.speculative_launches)
+                if stats.speculative_wins:
+                    _M_SPEC_WINS.inc(stats.speculative_wins)
+                if stats.wasted_task_seconds:
+                    _M_WASTED.inc(stats.wasted_task_seconds)
+                if stats.faults_injected:
+                    _M_FAULTS.inc(stats.faults_injected)
         return out
 
     def _fault_for(self, round_index: int, task_index: int) -> Fault | None:
@@ -330,6 +394,7 @@ class ResilientExecutor:
         serialised.
         """
         policy = self.policy
+        tracer = _trace.current_tracer()
         results: list[Any] = []
         times: list[float] = []
         for idx, task in enumerate(tasks):
@@ -358,6 +423,10 @@ class ResilientExecutor:
                 failures += 1
                 stats.wasted_task_seconds += seconds
                 stats.per_task_wasted_seconds[idx] += seconds
+                _abandoned_span(
+                    tracer, idx, attempt, started, seconds,
+                    type(error).__name__, speculative=False,
+                )
                 if failures > policy.max_retries:
                     raise self._exhausted(idx, attempt + 1, error) from error
                 stats.retries += 1
@@ -379,6 +448,10 @@ class ResilientExecutor:
                 waste = time.perf_counter() - clone_start
                 stats.wasted_task_seconds += waste
                 stats.per_task_wasted_seconds[idx] += waste
+                _abandoned_span(
+                    tracer, idx, attempt + 1, clone_start, waste,
+                    "duplicate-clone", speculative=True,
+                )
             results.append(value)
             times.append(seconds)
         return results, times
@@ -392,12 +465,14 @@ class ResilientExecutor:
             return self.inner.submit(call)
         except BrokenExecutor:
             self.inner.close()
+            _M_POOL_RESTARTS.inc()
             return self.inner.submit(call)
 
     def _run_pooled(
         self, tasks: list, round_index: int, stats: RoundFaultStats
     ) -> tuple[list[Any], list[float]]:
         policy = self.policy
+        tracer = _trace.current_tracer()
         n = len(tasks)
         results: list[Any] = [None] * n
         times: list[float] = [0.0] * n
@@ -433,6 +508,10 @@ class ResilientExecutor:
             """One attempt is gone; retry, defer to a live clone, or give up."""
             idx = att.index
             waste(idx, seconds)
+            _abandoned_span(
+                tracer, idx, att.attempt, att.started, seconds,
+                type(exc).__name__, speculative=att.speculative,
+            )
             if resolved[idx]:
                 return  # a clone already won; this loser just cost time
             failures[idx] += 1
@@ -478,6 +557,10 @@ class ResilientExecutor:
                 idx = att.index
                 if resolved[idx]:
                     waste(idx, seconds)  # duplicate result: deduplicated
+                    _abandoned_span(
+                        tracer, idx, att.attempt, att.started, seconds,
+                        "deduplicated", speculative=att.speculative,
+                    )
                 elif (
                     policy.task_timeout is not None
                     and seconds > policy.task_timeout
@@ -510,6 +593,7 @@ class ResilientExecutor:
                 # raise.
                 if hasattr(self.inner, "close"):
                     self.inner.close()
+                    _M_POOL_RESTARTS.inc()
                 casualties = list(inflight.items())
                 inflight.clear()
                 for _, att in casualties:
@@ -541,6 +625,11 @@ class ResilientExecutor:
                         inflight_count[att.index] -= 1
                         if resolved[att.index]:
                             waste(att.index, now - att.started)
+                            _abandoned_span(
+                                tracer, att.index, att.attempt, att.started,
+                                now - att.started, "overtaken",
+                                speculative=att.speculative,
+                            )
                         else:
                             attempt_failed(
                                 att,
@@ -577,6 +666,10 @@ class ResilientExecutor:
         for future, att in inflight.items():
             future.cancel()
             waste(att.index, now - att.started)
+            _abandoned_span(
+                tracer, att.index, att.attempt, att.started,
+                now - att.started, "outpaced", speculative=att.speculative,
+            )
         inflight.clear()
         return results, times
 

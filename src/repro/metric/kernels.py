@@ -47,6 +47,7 @@ import threading
 import numpy as np
 
 from repro.errors import MetricError
+from repro.obs import trace as _trace
 from repro.utils.chunking import DEFAULT_BLOCK_BYTES, chunk_slices, resolve_chunk_size
 
 __all__ = [
@@ -238,21 +239,26 @@ def sq_dists_block(
             ws=ws,
         )
         return np.ascontiguousarray(out[:, :1])
-    if x_sq is None:
-        x_sq = _sq_norms(x)
-    if y_sq is None:
-        y_sq = _sq_norms(y)
-    # -2 x.y  +  |x|^2  +  |y|^2, accumulated in place on the GEMM output.
-    if ws is None:
-        out = x @ y.T
-    else:
-        out = np.matmul(x, y.T, out=ws.take("gemm", (x.shape[0], y.shape[0])))
-    out *= -2.0
-    out += x_sq[:, None]
-    out += y_sq[None, :]
-    np.maximum(out, 0.0, out=out)
-    _refine_cancelled(out, x, y, x_sq, y_sq)
-    return out
+    # The no-tracer (and detail="task") case is one contextvar read —
+    # negligible against the GEMM this block performs.
+    with _trace.block_span(
+        "kernels.sq_dists_block", rows=int(x.shape[0]), cols=int(y.shape[0])
+    ):
+        if x_sq is None:
+            x_sq = _sq_norms(x)
+        if y_sq is None:
+            y_sq = _sq_norms(y)
+        # -2 x.y + |x|^2 + |y|^2, accumulated in place on the GEMM output.
+        if ws is None:
+            out = x @ y.T
+        else:
+            out = np.matmul(x, y.T, out=ws.take("gemm", (x.shape[0], y.shape[0])))
+        out *= -2.0
+        out += x_sq[:, None]
+        out += y_sq[None, :]
+        np.maximum(out, 0.0, out=out)
+        _refine_cancelled(out, x, y, x_sq, y_sq)
+        return out
 
 
 def _refine_cancelled(

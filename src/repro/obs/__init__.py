@@ -1,0 +1,36 @@
+"""Observability: tracing, metrics, and structured logging.
+
+The package has three dependency-free modules, all designed around one
+rule — **zero cost when disabled, bit-parity-neutral when enabled**:
+
+* :mod:`repro.obs.trace` — contextvar-propagated spans
+  (``solve`` -> ``round`` -> ``task`` -> kernel ``block``) with
+  monotonic timestamps.  Spans cross process boundaries by stamping a
+  picklable :class:`~repro.obs.trace.TaskTraceContext` into the task
+  partials and folding the worker-side spans back through
+  :class:`~repro.mapreduce.cluster.TaskOutput`; a finished trace exports
+  as Chrome trace-event JSON (``chrome://tracing`` / Perfetto).
+* :mod:`repro.obs.metrics` — a registry of Counters / Gauges /
+  Histograms with Prometheus text-format exposition.  The process-wide
+  default registry starts *disabled*; the serve layer enables it at
+  startup, libraries and tests opt in via
+  :func:`repro.obs.metrics.capture`.
+* :mod:`repro.obs.logs` — structured JSON logging with
+  ``run_id`` / ``request_id`` correlation carried by a contextvar
+  (:func:`repro.obs.logs.bind`).  The ``repro`` logger tree carries a
+  ``NullHandler`` by default, so nothing is emitted until
+  :func:`repro.obs.logs.configure` is called.
+
+Instrumented code emits **at commit points only** — where accounting
+already folds into the driver (``run_round`` unwrapping, the solver
+facade, the serve scheduler) — so retried, speculative and duplicated
+attempts can never double-count: their results are discarded by the
+resilient executor's dedup before any fold happens.  The losing attempts
+remain *visible* as driver-side spans annotated ``abandoned``.
+"""
+
+from repro.obs import logs, metrics, trace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+__all__ = ["trace", "metrics", "logs", "Tracer", "MetricsRegistry"]

@@ -1,0 +1,100 @@
+"""Structured JSON logging with run/request correlation.
+
+Built on the stdlib ``logging`` tree under the ``"repro"`` root logger,
+which carries a ``NullHandler`` — nothing is emitted until a process
+opts in with :func:`configure` (the ``repro serve --log-json`` flag, or
+any embedding application attaching its own handler).
+
+Correlation travels in a contextvar, not in call signatures: code wraps
+work in ``with logs.bind(request_id=..., run_id=...)`` and every log
+record emitted inside the block — by any module — carries those fields.
+Binding nests (inner binds add to, and shadow, outer ones) and is
+async-safe; note that contextvars do **not** cross thread-pool
+boundaries, so dispatch sites re-bind on the worker thread (see
+``BatchScheduler._solve_group``).
+
+One JSON object per line::
+
+    {"ts": 1723024968.123456, "level": "info", "logger": "repro.serve",
+     "msg": "request answered", "request_id": "r17", "queue_ms": 0.4}
+
+Extra structured fields go in ``extra={"fields": {...}}`` on the log
+call; exceptions land under ``"exc"``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, IO
+
+__all__ = ["bind", "context", "get_logger", "configure", "JsonFormatter"]
+
+_CONTEXT: ContextVar[tuple[tuple[str, Any], ...]] = ContextVar(
+    "repro_obs_log_context", default=()
+)
+
+# Imported is silent: the repro tree emits nowhere until configured.
+logging.getLogger("repro").addHandler(logging.NullHandler())
+
+
+def context() -> dict[str, Any]:
+    """The correlation fields bound in this context (later binds win)."""
+    return dict(_CONTEXT.get())
+
+
+@contextmanager
+def bind(**fields: Any):
+    """Attach correlation fields to every log record in the block."""
+    token = _CONTEXT.set(_CONTEXT.get() + tuple(fields.items()))
+    try:
+        yield
+    finally:
+        _CONTEXT.reset(token)
+
+
+class JsonFormatter(logging.Formatter):
+    """One compact JSON object per record, correlation fields included."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        payload.update(context())
+        fields = getattr(record, "fields", None)
+        if isinstance(fields, dict):
+            payload.update(fields)
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, separators=(",", ":"), default=str)
+
+
+def get_logger(name: str = "repro") -> logging.Logger:
+    """A logger in the ``repro`` tree (pass dotted suffixes freely)."""
+    if name != "repro" and not name.startswith("repro."):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def configure(
+    level: int | str = logging.INFO,
+    stream: IO[str] | None = None,
+    logger: str = "repro",
+) -> logging.Handler:
+    """Attach a JSON-lines handler to the ``repro`` tree; returns it.
+
+    Idempotent enough for a CLI: call once per process.  Tests pass a
+    ``StringIO`` stream and remove the returned handler when done.
+    """
+    root = logging.getLogger(logger)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonFormatter())
+    root.addHandler(handler)
+    root.setLevel(level)
+    return handler

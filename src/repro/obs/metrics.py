@@ -1,0 +1,428 @@
+"""A dependency-free metrics registry with Prometheus text exposition.
+
+:class:`MetricsRegistry` holds named Counters, Gauges and Histograms,
+optionally labelled, and renders them in the Prometheus text format
+(version 0.0.4) — the ``repro serve`` ``/metrics`` scrape surface.
+
+Design rules:
+
+* **Disabled is free.**  The process-wide default registry
+  (:data:`REGISTRY`) starts disabled; every mutation
+  (``inc``/``set``/``observe``) checks one boolean and returns.  The
+  serve layer enables it at startup; tests and benches opt in through
+  :func:`capture`.
+* **Get-or-create by name.**  Call sites say
+  ``metrics.counter("repro_task_retries_total", "...").inc()`` — the
+  first call registers, later calls return the same metric.  A name
+  re-registered with a different kind or label set raises: a metric's
+  identity must be stable for scrapers.
+* **Commit-point emission.**  Instrumented code increments where
+  accounting folds into the driver (round unwrapping, the facade, the
+  scheduler), never inside tasks — so retried / speculative attempts
+  whose results are discarded can never double-count, and worker
+  processes (whose registry is a separate, disabled copy) lose nothing
+  that matters.
+
+The metric *catalog* — which series exist and what they mean — is
+documented in ``docs/architecture.md`` (Observability section).
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from contextlib import contextmanager
+from typing import Iterable, Mapping
+
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "MetricsRegistry",
+    "REGISTRY",
+    "counter",
+    "gauge",
+    "histogram",
+    "render",
+    "capture",
+    "CONTENT_TYPE",
+    "DEFAULT_BUCKETS",
+]
+
+#: The scrape response content type (Prometheus text format).
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Default histogram buckets, tuned for solve/queue latencies (seconds).
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _escape_help(value: str) -> str:
+    return str(value).replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _fmt(value: float) -> str:
+    # Prometheus accepts Go-style floats; repr() round-trips exactly.
+    if value == float("inf"):
+        return "+Inf"
+    return repr(float(value))
+
+
+class _Child:
+    """One labelled series of a metric; exposes that metric's write op."""
+
+    __slots__ = ("_metric", "_key")
+
+    def __init__(self, metric: "_Metric", key: tuple):
+        self._metric = metric
+        self._key = key
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._metric._inc(self._key, amount)
+
+    def set(self, value: float) -> None:
+        self._metric._set(self._key, value)
+
+    def observe(self, value: float) -> None:
+        self._metric._observe(self._key, value)
+
+
+class _Metric:
+    kind = "untyped"
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        help: str,
+        labelnames: tuple[str, ...],
+    ):
+        self.registry = registry
+        self.name = name
+        self.help = help
+        self.labelnames = labelnames
+        self._series: dict[tuple, object] = {}
+
+    # -- labelling ------------------------------------------------------ #
+    def labels(self, **labelvalues: object) -> _Child:
+        if tuple(sorted(labelvalues)) != tuple(sorted(self.labelnames)):
+            raise InvalidParameterError(
+                f"metric {self.name!r} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labelvalues))}"
+            )
+        key = tuple(str(labelvalues[name]) for name in self.labelnames)
+        return _Child(self, key)
+
+    def _check_unlabelled(self) -> None:
+        if self.labelnames:
+            raise InvalidParameterError(
+                f"metric {self.name!r} is labelled {self.labelnames}; "
+                "use .labels(...)"
+            )
+
+    # -- write ops (subclasses pick theirs) ----------------------------- #
+    def _inc(self, key: tuple, amount: float) -> None:
+        raise InvalidParameterError(f"{self.kind} {self.name!r} has no inc()")
+
+    def _set(self, key: tuple, value: float) -> None:
+        raise InvalidParameterError(f"{self.kind} {self.name!r} has no set()")
+
+    def _observe(self, key: tuple, value: float) -> None:
+        raise InvalidParameterError(
+            f"{self.kind} {self.name!r} has no observe()"
+        )
+
+    # -- read (tests / stats bridging) ---------------------------------- #
+    def value(self, **labelvalues: object) -> float:
+        key = (
+            tuple(str(labelvalues[name]) for name in self.labelnames)
+            if labelvalues or self.labelnames
+            else ()
+        )
+        with self.registry._lock:
+            return float(self._series.get(key, 0.0))  # type: ignore[arg-type]
+
+    # -- render --------------------------------------------------------- #
+    def _label_str(self, key: tuple, extra: str = "") -> str:
+        parts = [
+            f'{name}="{_escape_label(value)}"'
+            for name, value in zip(self.labelnames, key)
+        ]
+        if extra:
+            parts.append(extra)
+        return "{" + ",".join(parts) + "}" if parts else ""
+
+    def render(self) -> list[str]:
+        lines = [
+            f"# HELP {self.name} {_escape_help(self.help)}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+        with self.registry._lock:
+            series = dict(self._series)
+        for key in sorted(series):
+            lines.append(
+                f"{self.name}{self._label_str(key)} {_fmt(series[key])}"
+            )
+        return lines
+
+
+class Counter(_Metric):
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._check_unlabelled()
+        self._inc((), amount)
+
+    def _inc(self, key: tuple, amount: float) -> None:
+        if not self.registry.enabled:
+            return
+        if amount < 0:
+            raise InvalidParameterError(
+                f"counter {self.name!r} cannot decrease (inc {amount})"
+            )
+        with self.registry._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+
+class Gauge(_Metric):
+    kind = "gauge"
+
+    def set(self, value: float) -> None:
+        self._check_unlabelled()
+        self._set((), value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._check_unlabelled()
+        self._inc((), amount)
+
+    def _set(self, key: tuple, value: float) -> None:
+        if not self.registry.enabled:
+            return
+        with self.registry._lock:
+            self._series[key] = float(value)
+
+    def _inc(self, key: tuple, amount: float) -> None:
+        if not self.registry.enabled:
+            return
+        with self.registry._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+
+class Histogram(_Metric):
+    kind = "histogram"
+
+    def __init__(self, registry, name, help, labelnames, buckets):
+        super().__init__(registry, name, help, labelnames)
+        clean = tuple(sorted(float(b) for b in buckets))
+        if not clean:
+            raise InvalidParameterError(
+                f"histogram {self.name!r} needs at least one bucket"
+            )
+        self.buckets = clean
+
+    def observe(self, value: float) -> None:
+        self._check_unlabelled()
+        self._observe((), value)
+
+    def _observe(self, key: tuple, value: float) -> None:
+        if not self.registry.enabled:
+            return
+        value = float(value)
+        with self.registry._lock:
+            state = self._series.get(key)
+            if state is None:
+                state = [[0] * (len(self.buckets) + 1), 0.0, 0]
+                self._series[key] = state
+            counts, _, _ = state
+            counts[bisect.bisect_left(self.buckets, value)] += 1
+            state[1] += value
+            state[2] += 1
+
+    def value(self, **labelvalues: object) -> float:
+        """The observation *sum* (count is in :meth:`counts`)."""
+        key = tuple(str(labelvalues[name]) for name in self.labelnames)
+        with self.registry._lock:
+            state = self._series.get(key)
+            return float(state[1]) if state is not None else 0.0
+
+    def counts(self, **labelvalues: object) -> int:
+        key = tuple(str(labelvalues[name]) for name in self.labelnames)
+        with self.registry._lock:
+            state = self._series.get(key)
+            return int(state[2]) if state is not None else 0
+
+    def render(self) -> list[str]:
+        lines = [
+            f"# HELP {self.name} {_escape_help(self.help)}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+        with self.registry._lock:
+            series = {
+                key: ([*state[0]], state[1], state[2])  # type: ignore[index]
+                for key, state in self._series.items()
+            }
+        for key in sorted(series):
+            counts, total, n = series[key]
+            running = 0
+            for bound, count in zip(self.buckets, counts):
+                running += count
+                le = 'le="' + _fmt(bound) + '"'
+                lines.append(
+                    f"{self.name}_bucket{self._label_str(key, le)} {running}"
+                )
+            inf = 'le="+Inf"'
+            lines.append(
+                f"{self.name}_bucket{self._label_str(key, inf)} {n}"
+            )
+            lines.append(f"{self.name}_sum{self._label_str(key)} {_fmt(total)}")
+            lines.append(f"{self.name}_count{self._label_str(key)} {n}")
+        return lines
+
+
+class MetricsRegistry:
+    """A named collection of metrics; thread-safe; renderable as text.
+
+    ``enabled`` gates every write.  Registration is allowed while
+    disabled (so import-time metric definitions cost nothing), and
+    :meth:`render` always works — a disabled registry simply renders
+    whatever it accumulated while enabled.
+    """
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self._metrics: dict[str, _Metric] = {}
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------ #
+    # get-or-create
+    # ------------------------------------------------------------------ #
+    def _get_or_create(self, cls, name, help, labelnames, **kwargs) -> _Metric:
+        labelnames = tuple(labelnames)
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls) or existing.labelnames != labelnames:
+                    raise InvalidParameterError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind} with labels {existing.labelnames}"
+                    )
+                return existing
+            metric = cls(self, name, help, labelnames, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Iterable[str] = ()
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)  # type: ignore[return-value]
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Iterable[str] = ()
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Iterable[str] = (),
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, labelnames, buckets=buckets
+        )  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Zero every series (registrations are kept)."""
+        with self._lock:
+            for metric in self._metrics.values():
+                metric._series.clear()
+
+    # ------------------------------------------------------------------ #
+    # exposition
+    # ------------------------------------------------------------------ #
+    def render(self) -> str:
+        """The full registry in Prometheus text format 0.0.4."""
+        with self._lock:
+            metrics = [self._metrics[name] for name in sorted(self._metrics)]
+        lines: list[str] = []
+        for metric in metrics:
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n"
+
+    def snapshot(self) -> dict[str, dict]:
+        """``{name: {label-key: value}}`` for tests and stats bridging."""
+        with self._lock:
+            out: dict[str, dict] = {}
+            for name, metric in self._metrics.items():
+                if isinstance(metric, Histogram):
+                    out[name] = {
+                        key: {"sum": state[1], "count": state[2]}  # type: ignore[index]
+                        for key, state in metric._series.items()
+                    }
+                else:
+                    out[name] = dict(metric._series)
+            return out
+
+
+#: The process-wide default registry every instrumentation site writes
+#: to.  Starts disabled (zero-cost); ``repro serve`` enables it.
+REGISTRY = MetricsRegistry(enabled=False)
+
+
+def counter(name: str, help: str = "", labelnames: Iterable[str] = ()) -> Counter:
+    return REGISTRY.counter(name, help, labelnames)
+
+
+def gauge(name: str, help: str = "", labelnames: Iterable[str] = ()) -> Gauge:
+    return REGISTRY.gauge(name, help, labelnames)
+
+
+def histogram(
+    name: str,
+    help: str = "",
+    labelnames: Iterable[str] = (),
+    buckets: Iterable[float] = DEFAULT_BUCKETS,
+) -> Histogram:
+    return REGISTRY.histogram(name, help, labelnames, buckets)
+
+
+def render() -> str:
+    return REGISTRY.render()
+
+
+@contextmanager
+def capture(reset: bool = True):
+    """Enable the default registry for a block (tests, benches, the CLI).
+
+    Resets accumulated series first by default, so assertions see only
+    the block's own activity; restores the previous enabled state on
+    exit (series are kept for inspection).
+    """
+    prior = REGISTRY.enabled
+    if reset:
+        REGISTRY.reset()
+    REGISTRY.enabled = True
+    try:
+        yield REGISTRY
+    finally:
+        REGISTRY.enabled = prior

@@ -134,12 +134,68 @@ class ServeClient:
             )
         return response
 
+    def solve_progress(
+        self,
+        algo: str,
+        k: int,
+        *,
+        points: Any = None,
+        data: str | None = None,
+        seed: Any = None,
+        options: Mapping | None = None,
+        timeout: float | None = None,
+        raise_on_error: bool = True,
+    ) -> tuple[list[dict], dict]:
+        """One streamed solve: returns ``(events, final_response)``.
+
+        Same arguments as :meth:`solve`; the server pushes span events
+        (round boundaries, abandoned attempts) while the solve runs, then
+        the normal final response.  Blocking and simple by design — a
+        live consumer wanting events as they arrive uses :meth:`send` /
+        :meth:`recv` directly.
+        """
+        payload: dict[str, Any] = {
+            "op": "progress",
+            "id": str(next(self._ids)),
+            "algo": algo,
+            "k": k,
+        }
+        if points is not None:
+            payload["points"] = np.asarray(points, dtype=np.float64).tolist()
+        if data is not None:
+            payload["data"] = data
+        if seed is not None:
+            payload["seed"] = seed
+        if options:
+            payload["options"] = dict(options)
+        if timeout is not None:
+            payload["timeout"] = timeout
+        self.send(payload)
+        events: list[dict] = []
+        while True:
+            response = self.recv()
+            if response.get("ok") and response.get("final") is False:
+                events.append(response["event"])
+                continue
+            break
+        if raise_on_error and not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServeError(
+                error.get("code", E_INTERNAL),
+                error.get("message", "unknown server error"),
+            )
+        return events, response
+
     def ping(self) -> dict:
         return self.request({"op": "ping"})
 
     def stats(self) -> dict:
         """The server's scheduler counters (admissions, batches, cache)."""
         return self.request({"op": "stats"})["stats"]
+
+    def metrics(self) -> str:
+        """The server's metrics registry as Prometheus exposition text."""
+        return self.request({"op": "metrics"})["metrics"]
 
     # ------------------------------------------------------------------ #
     def close(self) -> None:

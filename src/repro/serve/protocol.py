@@ -17,6 +17,13 @@ Request shape (``op`` defaults to ``"solve"``)::
 
     {"op": "ping"}          -> {"ok": true, "op": "ping", ...}
     {"op": "stats"}         -> {"ok": true, "stats": {...}}
+    {"op": "metrics"}       -> {"ok": true, "metrics": "<prometheus text>",
+                                "content_type": "text/plain; version=0.0.4..."}
+    {"op": "progress", ...same fields as solve...}
+        -> zero or more {"id": ..., "ok": true, "final": false,
+                         "event": {"name": ..., "cat": "round"|"solve"|"attempt",
+                                   "start": ..., "duration": ..., "args": {...}}}
+           then one normal final response line (``"final": true``)
 
 Response shape::
 

@@ -56,6 +56,9 @@ from repro.mapreduce.executor import (
 )
 from repro.mapreduce.faults import FaultInjector
 from repro.mapreduce.resilient import FaultPolicy, ResilientExecutor
+from repro.obs import logs as _logs
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.serve.protocol import (
     E_INTERNAL,
     E_OVERLOADED,
@@ -72,6 +75,52 @@ __all__ = ["ServeConfig", "BatchScheduler", "BACKENDS"]
 #: Executor backends the server can host, by CLI/config name.
 BACKENDS = ("sequential", "thread", "process")
 
+_LOG = _logs.get_logger("repro.serve")
+
+_M_REQUESTS = _metrics.counter(
+    "repro_serve_requests_total",
+    "Requests by final disposition",
+    ("outcome",),  # received / answered / rejected / failed / abandoned
+)
+_M_BATCHES = _metrics.counter(
+    "repro_serve_batches_total", "Coalesced batches dispatched to the pool"
+)
+_M_QUEUE_WAIT = _metrics.histogram(
+    "repro_serve_queue_wait_seconds",
+    "Admission-to-dispatch wait per answered request",
+)
+_M_BATCH_SIZE = _metrics.histogram(
+    "repro_serve_batch_size",
+    "Requests coalesced per dispatched batch",
+    buckets=(1, 2, 4, 8, 16, 32, 64),
+)
+_M_BATCH_SECONDS = _metrics.histogram(
+    "repro_serve_batch_seconds", "Wall time of one dispatched batch"
+)
+_M_ISOLATION = _metrics.counter(
+    "repro_serve_isolation_splits_total",
+    "Failed coalesced batches re-dispatched one request at a time",
+)
+# Scrape-time snapshot gauges, set by BatchScheduler.observe_scrape just
+# before every render so a Prometheus scrape agrees with the stats op.
+_M_G_UPTIME = _metrics.gauge(
+    "repro_serve_uptime_seconds", "Seconds since the scheduler started"
+)
+_M_G_PENDING = _metrics.gauge(
+    "repro_serve_pending", "Requests admitted and not yet answered"
+)
+_M_G_RETRIES = _metrics.gauge(
+    "repro_serve_retries", "Task retries absorbed by the warm executor"
+)
+_M_G_SPEC_WINS = _metrics.gauge(
+    "repro_serve_speculative_wins",
+    "Tasks won by a speculative copy on the warm executor",
+)
+_M_G_WASTED = _metrics.gauge(
+    "repro_serve_wasted_task_seconds",
+    "Wall-clock seconds of discarded attempts on the warm executor",
+)
+
 
 @dataclass
 class ServeConfig:
@@ -82,6 +131,12 @@ class ServeConfig:
     host, port:
         Bind address; port ``0`` asks the OS for an ephemeral port (the
         bound address is reported by :meth:`KCenterServer.start`).
+    metrics_port:
+        When set, the server additionally binds a plain-HTTP listener on
+        this port (same host) answering ``GET /metrics`` with the
+        Prometheus text exposition of :data:`repro.obs.metrics.REGISTRY`
+        — ``0`` again means ephemeral.  ``None`` (default) disables the
+        scrape listener; the NDJSON ``metrics`` op is always available.
     backend, pool_size:
         The one warm executor every batch runs on: ``"thread"``
         (default; BLAS kernels overlap, zero pickling), ``"process"``
@@ -126,6 +181,7 @@ class ServeConfig:
 
     host: str = "127.0.0.1"
     port: int = 0
+    metrics_port: int | None = None
     backend: str = "thread"
     pool_size: int | None = None
     max_queue: int = 256
@@ -189,12 +245,18 @@ class ServeConfig:
 class _Pending:
     """One admitted request waiting for (or riding in) a batch."""
 
-    __slots__ = ("request", "future", "enqueued")
+    __slots__ = ("request", "future", "enqueued", "tracer")
 
-    def __init__(self, request: SolveRequest, future: asyncio.Future):
+    def __init__(
+        self,
+        request: SolveRequest,
+        future: asyncio.Future,
+        tracer: "_trace.Tracer | None" = None,
+    ):
         self.request = request
         self.future = future
         self.enqueued = time.perf_counter()
+        self.tracer = tracer
 
 
 class BatchScheduler:
@@ -235,12 +297,22 @@ class BatchScheduler:
         self.batches = 0
         self.coalesced_requests = 0
         self.isolation_splits = 0
+        self._started = time.monotonic()
+
+    def _count(self, outcome: str, amount: int = 1) -> None:
+        """Bump one disposition counter and its metric series together."""
+        setattr(self, outcome, getattr(self, outcome) + amount)
+        _M_REQUESTS.labels(outcome=outcome).inc(amount)
 
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
     def start(self) -> None:
         """Open the warm pool eagerly and start the batcher task."""
+        # A serving process is the canonical long-lived scrape target:
+        # turn the process-wide registry on for its lifetime.
+        _metrics.REGISTRY.enable()
+        self._started = time.monotonic()
         if hasattr(self._executor, "open"):
             self._executor.open()
         self._batcher = self._loop.create_task(
@@ -277,32 +349,39 @@ class BatchScheduler:
     # ------------------------------------------------------------------ #
     # admission
     # ------------------------------------------------------------------ #
-    def submit(self, request: SolveRequest) -> asyncio.Future:
+    def submit(
+        self,
+        request: SolveRequest,
+        tracer: "_trace.Tracer | None" = None,
+    ) -> asyncio.Future:
         """Admit one request; returns the future its response resolves.
 
         Raises :class:`ServeError` (``shutting-down`` / ``overloaded`` /
-        ``too-large``) instead of queueing inadmissible work.
+        ``too-large``) instead of queueing inadmissible work.  A request
+        carrying a ``tracer`` (the ``progress`` op) is dispatched as its
+        own batch — per-request span attribution cannot survive
+        coalescing — with the tracer active for the whole solve.
         """
-        self.received += 1
+        self._count("received")
         if self._closed:
-            self.rejected += 1
+            self._count("rejected")
             raise ServeError(E_SHUTTING_DOWN, "server is draining; resubmit later")
         if self._pending >= self.config.max_queue:
-            self.rejected += 1
+            self._count("rejected")
             raise ServeError(
                 E_OVERLOADED,
                 f"{self._pending} requests outstanding, at the max_queue "
                 f"cap of {self.config.max_queue}; retry later",
             )
         if request.space.n > self.config.max_points:
-            self.rejected += 1
+            self._count("rejected")
             raise ServeError(
                 E_TOO_LARGE,
                 f"request has {request.space.n} points, over the admission "
                 f"cap of {self.config.max_points}",
             )
         future = self._loop.create_future()
-        self._queue.append(_Pending(request, future))
+        self._queue.append(_Pending(request, future, tracer))
         self._pending += 1
         self._idle.clear()
         self._wakeup.set()
@@ -339,7 +418,7 @@ class BatchScheduler:
                 else:
                     live.append(pending)
             if dropped:
-                self.abandoned += dropped
+                self._count("abandoned", dropped)
                 self._settle(dropped)
             for group in self._group_by_space(live):
                 # Backpressure: at most max_inflight batches on the pool.
@@ -350,10 +429,19 @@ class BatchScheduler:
 
     @staticmethod
     def _group_by_space(batch: Sequence[_Pending]) -> list[list[_Pending]]:
-        """Split one cut of the queue into per-space coalesced groups."""
+        """Split one cut of the queue into per-space coalesced groups.
+
+        Traced requests get a fresh unique key each: their spans must be
+        attributable to exactly one request, so they never coalesce.
+        """
         groups: dict[object, list[_Pending]] = {}
         for pending in batch:
-            groups.setdefault(pending.request.space_key, []).append(pending)
+            key = (
+                object()
+                if pending.tracer is not None
+                else pending.request.space_key
+            )
+            groups.setdefault(key, []).append(pending)
         return list(groups.values())
 
     async def _dispatch(self, group: list[_Pending]) -> None:
@@ -362,11 +450,13 @@ class BatchScheduler:
             live = [p for p in group if not p.future.cancelled()]
             skipped = len(group) - len(live)
             if skipped:
-                self.abandoned += skipped
+                self._count("abandoned", skipped)
                 self._settle(skipped)
             if not live:
                 return
             self.batches += 1
+            _M_BATCHES.inc()
+            _M_BATCH_SIZE.observe(len(live))
             if len(live) > 1:
                 self.coalesced_requests += len(live)
             started = time.perf_counter()
@@ -384,12 +474,14 @@ class BatchScheduler:
                 # (fresh exact summaries per run), so only the request
                 # that genuinely cannot complete gets the error.
                 self.isolation_splits += 1
+                _M_ISOLATION.inc()
                 await self._isolate(live)
                 return
             batch_seconds = time.perf_counter() - started
+            _M_BATCH_SECONDS.observe(batch_seconds)
             for pending in live:
                 if pending.future.cancelled():
-                    self.abandoned += 1
+                    self._count("abandoned")
                     continue
                 self._answer(pending, batch, started, batch_seconds, len(live))
             self._settle(len(live))
@@ -405,16 +497,29 @@ class BatchScheduler:
         batch_runs: int,
     ) -> None:
         key = BatchKey(pending.request.id, pending.request.seed)
+        queue_s = started - pending.enqueued
         pending.future.set_result(
             {
                 "result": batch[key],
                 "summary": batch.run_summaries[key],
-                "queue_s": started - pending.enqueued,
+                "queue_s": queue_s,
                 "batch_s": batch_seconds,
                 "batch_runs": batch_runs,
             }
         )
-        self.answered += 1
+        self._count("answered")
+        _M_QUEUE_WAIT.observe(queue_s)
+        _LOG.info(
+            "request answered",
+            extra={
+                "fields": {
+                    "request_id": pending.request.id,
+                    "queue_ms": round(queue_s * 1e3, 3),
+                    "batch_ms": round(batch_seconds * 1e3, 3),
+                    "batch_runs": batch_runs,
+                }
+            },
+        )
 
     def _fail(self, pending: _Pending, exc: Exception) -> None:
         error = ServeError(
@@ -423,8 +528,17 @@ class BatchScheduler:
         if not pending.future.cancelled():
             pending.future.set_exception(error)
         else:
-            self.abandoned += 1
-        self.failed += 1
+            self._count("abandoned")
+        self._count("failed")
+        _LOG.warning(
+            "request failed",
+            extra={
+                "fields": {
+                    "request_id": pending.request.id,
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+            },
+        )
 
     async def _isolate(self, live: list[_Pending]) -> None:
         """Re-dispatch a failed coalesced batch one request at a time.
@@ -437,7 +551,7 @@ class BatchScheduler:
         """
         for pending in live:
             if pending.future.cancelled():
-                self.abandoned += 1
+                self._count("abandoned")
                 self._settle(1)
                 continue
             solo_start = time.perf_counter()
@@ -450,7 +564,7 @@ class BatchScheduler:
                 self._settle(1)
                 continue
             if pending.future.cancelled():
-                self.abandoned += 1
+                self._count("abandoned")
             else:
                 self._answer(
                     pending, batch, solo_start,
@@ -466,22 +580,47 @@ class BatchScheduler:
         unique, so keys cannot collide); ``seeds=None`` selects the
         facade's entry-owned seeding mode.  The shared warm executor
         fans the runs out; the shared cache dedupes repeated spaces.
+
+        Contextvars do not follow work onto pool threads, so a traced
+        request's tracer (and log correlation) is re-activated here,
+        where the solve actually runs.
         """
         space = group[0].request.space
         entries = [pending.request.entry() for pending in group]
-        return solve_many(
-            space,
-            group[0].request.k,
-            entries,
-            seeds=None,
-            executor=self._executor,
-            cache=self.cache,
-        )
+        tracer = group[0].tracer if len(group) == 1 else None
+
+        def run():
+            return solve_many(
+                space,
+                group[0].request.k,
+                entries,
+                seeds=None,
+                executor=self._executor,
+                cache=self.cache,
+            )
+
+        if tracer is None:
+            return run()
+        with _trace.activate(tracer), _logs.bind(
+            request_id=group[0].request.id, run_id=tracer.run_id
+        ):
+            return run()
 
     # ------------------------------------------------------------------ #
     def stats(self) -> dict:
-        """Counters for the ``stats`` op and the load bench."""
+        """Counters for the ``stats`` op and the load bench.
+
+        The schema is **stable for scrapers**: every key below is present
+        in every response — ``cache`` is ``{}`` when no cache is
+        configured, and the fault-tolerance counters are ``0`` even if
+        the executor were ever not resilient — so monitoring needs no
+        existence checks.
+        """
+        from repro import __version__
+
         out = {
+            "server_version": __version__,
+            "uptime_seconds": time.monotonic() - self._started,
             "backend": self.config.backend,
             "pool_size": self.config.pool_size,
             "received": self.received,
@@ -494,12 +633,28 @@ class BatchScheduler:
             "isolation_splits": self.isolation_splits,
             "pending": self._pending,
             "draining": self._closed,
+            "retries": 0,
+            "speculative_wins": 0,
+            "wasted_task_seconds": 0.0,
+            "cache": self.cache.stats() if self.cache is not None else {},
         }
         if isinstance(self._executor, ResilientExecutor):
             totals = self._executor.totals
             out["retries"] = totals.retries
             out["speculative_wins"] = totals.speculative_wins
             out["wasted_task_seconds"] = totals.wasted_task_seconds
-        if self.cache is not None:
-            out["cache"] = self.cache.stats()
         return out
+
+    def observe_scrape(self) -> None:
+        """Refresh the snapshot gauges from :meth:`stats`.
+
+        Called by the server immediately before every metrics render
+        (NDJSON op and HTTP scrape alike), so the gauges a scraper sees
+        are exactly the stats-op numbers of the same instant.
+        """
+        snapshot = self.stats()
+        _M_G_UPTIME.set(snapshot["uptime_seconds"])
+        _M_G_PENDING.set(snapshot["pending"])
+        _M_G_RETRIES.set(snapshot["retries"])
+        _M_G_SPEC_WINS.set(snapshot["speculative_wins"])
+        _M_G_WASTED.set(snapshot["wasted_task_seconds"])

@@ -29,6 +29,8 @@ from __future__ import annotations
 import asyncio
 import threading
 
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.serve.protocol import (
     E_BAD_REQUEST,
     E_INTERNAL,
@@ -62,7 +64,9 @@ class KCenterServer:
         self.config = config or ServeConfig()
         self.scheduler: BatchScheduler | None = None
         self.address: tuple[str, int] | None = None
+        self.metrics_address: tuple[str, int] | None = None
         self._server: asyncio.AbstractServer | None = None
+        self._metrics_server: asyncio.AbstractServer | None = None
         self._request_tasks: set[asyncio.Task] = set()
 
     # ------------------------------------------------------------------ #
@@ -80,6 +84,14 @@ class KCenterServer:
         )
         sockname = self._server.sockets[0].getsockname()
         self.address = (sockname[0], sockname[1])
+        if self.config.metrics_port is not None:
+            self._metrics_server = await asyncio.start_server(
+                self._handle_metrics_conn,
+                self.config.host,
+                self.config.metrics_port,
+            )
+            scrape = self._metrics_server.sockets[0].getsockname()
+            self.metrics_address = (scrape[0], scrape[1])
         return self.address
 
     async def serve_forever(self) -> None:
@@ -92,6 +104,10 @@ class KCenterServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            await self._metrics_server.wait_closed()
+            self._metrics_server = None
         if self.scheduler is not None:
             # Everything admitted resolves (result or error) in here ...
             await self.scheduler.drain()
@@ -181,9 +197,26 @@ class KCenterServer:
                 lock,
                 {"id": wire_id, "ok": True, "stats": self.scheduler.stats()},
             )
-        elif op == "solve":
+        elif op == "metrics":
+            # Refresh the snapshot gauges first, so the exposition agrees
+            # with a stats op issued at the same moment.
+            self.scheduler.observe_scrape()
+            await self._send(
+                writer,
+                lock,
+                {
+                    "id": wire_id,
+                    "ok": True,
+                    "metrics": _metrics.render(),
+                    "content_type": _metrics.CONTENT_TYPE,
+                },
+            )
+        elif op in ("solve", "progress"):
+            runner = (
+                self._process_solve if op == "solve" else self._process_progress
+            )
             task = asyncio.get_running_loop().create_task(
-                self._process_solve(payload, wire_id, writer, lock)
+                runner(payload, wire_id, writer, lock)
             )
             for registry in (tasks, self._request_tasks):
                 registry.add(task)
@@ -196,7 +229,8 @@ class KCenterServer:
                     wire_id,
                     ServeError(
                         E_BAD_REQUEST,
-                        f"unknown op {op!r}; expected solve, ping or stats",
+                        f"unknown op {op!r}; expected solve, progress, "
+                        f"ping, stats or metrics",
                     ),
                 ),
             )
@@ -254,6 +288,166 @@ class KCenterServer:
             await self._send(writer, lock, response)
         except (ConnectionError, OSError):
             pass  # client vanished between solve and send
+
+    #: Span categories streamed by the ``progress`` op.  Task and block
+    #: spans are deliberately excluded from the live feed (volume); the
+    #: ``solve --trace`` export is the full-detail surface.
+    PROGRESS_CATS = ("solve", "round", "attempt")
+
+    async def _process_progress(
+        self,
+        payload: dict,
+        wire_id: str | None,
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+    ) -> None:
+        """One traced solve streaming span events ahead of its response.
+
+        The wire contract: zero or more ``{"ok": true, "final": false,
+        "event": {...}}`` lines (same ``id``), then exactly one normal
+        final line — an ``ok`` response carrying the result, or a
+        structured error.  Events are emitted as spans close on
+        in-process backends and at result-commit time on process
+        backends (workers' spans travel back with their results), so the
+        final line always postdates every event of its request.
+        """
+        loop = asyncio.get_running_loop()
+        events: asyncio.Queue = asyncio.Queue()
+
+        def sink(span: "_trace.SpanRecord") -> None:
+            # Called from dispatch/worker threads: hop onto the loop.
+            # Sinks may observe losing attempts live; the committed trace
+            # (tracer.spans) is the ground truth, and abandoned attempts
+            # are explicitly flagged in their args.
+            if span.cat in self.PROGRESS_CATS:
+                loop.call_soon_threadsafe(events.put_nowait, span)
+
+        tracer = _trace.Tracer(on_span=sink)
+
+        async def pump() -> None:
+            while True:
+                span = await events.get()
+                if span is None:  # sentinel: everything before it is sent
+                    return
+                try:
+                    await self._send(
+                        writer,
+                        lock,
+                        {
+                            "id": wire_id,
+                            "ok": True,
+                            "final": False,
+                            "event": {
+                                "name": span.name,
+                                "cat": span.cat,
+                                "start": round(span.start - tracer.origin, 6),
+                                "duration": round(span.duration, 6),
+                                "args": dict(span.args),
+                            },
+                        },
+                    )
+                except (ConnectionError, OSError):
+                    return  # client vanished; drain silently
+
+        pump_task = loop.create_task(pump())
+        try:
+            request = parse_solve_request(
+                payload,
+                self.scheduler.next_id(),
+                max_points=self.config.max_points,
+            )
+            future = self.scheduler.submit(request, tracer=tracer)
+            timeout = (
+                request.timeout
+                if request.timeout is not None
+                else self.config.default_timeout
+            )
+            try:
+                delivered = await asyncio.wait_for(future, timeout)
+            except asyncio.TimeoutError:
+                raise ServeError(
+                    E_TIMEOUT,
+                    f"request did not finish within {timeout}s",
+                ) from None
+            response = ok_response(
+                wire_id if wire_id is not None else request.id,
+                delivered["result"],
+                delivered["summary"],
+                queue_ms=round(delivered["queue_s"] * 1e3, 3),
+                solve_ms=round(delivered["batch_s"] * 1e3, 3),
+                batch_runs=delivered["batch_runs"],
+                run_id=tracer.run_id,
+                spans=len(tracer.spans),
+            )
+            response["final"] = True
+        except ServeError as exc:
+            response = error_response(wire_id, exc)
+            response["final"] = True
+        except asyncio.CancelledError:
+            pump_task.cancel()
+            return  # disconnect; nobody left to answer
+        except Exception as exc:  # noqa: BLE001 - answered, never crashed
+            response = error_response(
+                wire_id,
+                ServeError(E_INTERNAL, f"{type(exc).__name__}: {exc}"),
+            )
+            response["final"] = True
+        # Every event scheduled before the result landed is already in
+        # the queue (call_soon_threadsafe is FIFO); the sentinel makes the
+        # pump flush them all before the final line goes out.
+        events.put_nowait(None)
+        await pump_task
+        try:
+            await self._send(writer, lock, response)
+        except (ConnectionError, OSError):
+            pass
+
+    async def _handle_metrics_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """A minimal one-shot HTTP/1.1 responder for ``GET /metrics``.
+
+        Deliberately not a web server: it answers exactly one request per
+        connection with the Prometheus text exposition and closes — all a
+        scrape loop needs, with no new dependencies.
+        """
+        try:
+            request_line = await reader.readline()
+            while True:  # drain headers up to the blank line
+                line = await reader.readline()
+                if not line or line in (b"\r\n", b"\n"):
+                    break
+            parts = request_line.decode("latin-1", "replace").split()
+            path = parts[1].partition("?")[0] if len(parts) > 1 else ""
+            if len(parts) > 1 and parts[0] == "GET" and path in ("/metrics", "/"):
+                if self.scheduler is not None:
+                    self.scheduler.observe_scrape()
+                body = _metrics.render().encode("utf-8")
+                status = "200 OK"
+                ctype = _metrics.CONTENT_TYPE
+            else:
+                body = b"only GET /metrics is served here\n"
+                status = "404 Not Found"
+                ctype = "text/plain; charset=utf-8"
+            writer.write(
+                (
+                    f"HTTP/1.1 {status}\r\n"
+                    f"Content-Type: {ctype}\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "Connection: close\r\n"
+                    "\r\n"
+                ).encode("latin-1")
+                + body
+            )
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
 
     @staticmethod
     async def _send(

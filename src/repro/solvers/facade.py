@@ -38,6 +38,7 @@ with unchanged per-run records.
 from __future__ import annotations
 
 import copy
+import time
 from functools import partial
 from typing import Any, Iterable, Mapping, NamedTuple, Sequence, Union
 
@@ -45,10 +46,13 @@ import repro.solvers.catalog  # noqa: F401  (side effect: populate REGISTRY)
 from repro.core.result import KCenterResult
 from repro.errors import InvalidParameterError
 from repro.mapreduce.accounting import BatchSummary
+from repro.mapreduce.cluster import TaskOutput
 from repro.mapreduce.executor import Executor, SequentialExecutor
 from repro.mapreduce.faults import FaultInjector
 from repro.mapreduce.resilient import FaultPolicy, ResilientExecutor
 from repro.metric.base import DistCounter, MetricSpace
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.solvers.config import SHARED_KNOBS, UNSET, SolveConfig
 from repro.solvers.registry import SolverSpec, get_solver
 from repro.store.cache import DistanceCache
@@ -60,6 +64,23 @@ __all__ = ["solve", "solve_many", "BatchKey", "BatchResults", "AlgorithmLike"]
 #: What :func:`solve_many` accepts per algorithm: a registry name/alias, a
 #: ``(name, options)`` pair, or a resolved :class:`SolverSpec`.
 AlgorithmLike = Union[str, SolverSpec, tuple]
+
+# Commit-point metrics (see repro.obs.metrics): labelled by the canonical
+# registry name — never by batch keys, whose labels are caller-chosen and
+# would blow up series cardinality under the serve layer.
+_M_SOLVES = _metrics.counter(
+    "repro_solves_total", "Solver runs completed", ("algorithm",)
+)
+_M_SOLVE_SECONDS = _metrics.histogram(
+    "repro_solve_duration_seconds",
+    "End-to-end solver wall time",
+    ("algorithm",),
+)
+_M_DIST_EVALS = _metrics.counter(
+    "repro_dist_evals_total",
+    "Distance evaluations charged to finished runs",
+    ("algorithm",),
+)
 
 
 def _is_solver_name(name: str) -> bool:
@@ -201,8 +222,6 @@ def solve(
         options=options,
     )
     kwargs = config.kwargs_for(spec)
-    if solo_resilient is None:
-        return spec.fn(space, config.k, **kwargs)
 
     def solo_task() -> tuple[KCenterResult, int, int, int]:
         # Private counter per attempt: a retried run must not leave the
@@ -213,13 +232,50 @@ def solve(
         counter = shadow.counter
         return result, counter.evals, counter.cache_hits, counter.cache_misses
 
-    (payload,), _ = solo_resilient.run([solo_task])
-    result, evals, hits, misses = payload
-    # Fold the winning attempt's accounting into the caller's counter —
-    # the side effect a bare `spec.fn(space, ...)` call would have had.
-    space.counter.add(evals)
-    space.counter.cache_hits += hits
-    space.counter.cache_misses += misses
+    tracer = _trace.current_tracer()
+    counter = getattr(space, "counter", None)
+    evals_before = counter.evals if counter is not None else 0
+    started = time.perf_counter()
+    with _trace.span("solve", cat="solve", algorithm=spec.name, k=config.k):
+        if solo_resilient is None:
+            result = spec.fn(space, config.k, **kwargs)
+        else:
+            task = solo_task
+            if tracer is not None:
+                task = _trace.wrap_task(
+                    solo_task,
+                    _trace.TaskTraceContext(
+                        run_id=tracer.run_id,
+                        name=f"{spec.name}.solo",
+                        index=0,
+                        detail=tracer.detail,
+                        args=(("algorithm", spec.name),),
+                    ),
+                    tracer.on_span,  # solo runs inline: live sinks are safe
+                )
+            (payload,), _ = solo_resilient.run([task])
+            if isinstance(payload, TaskOutput):
+                if tracer is not None and payload.spans:
+                    # Commit point: only the winning attempt's payload
+                    # survives the resilient dedup, so its spans alone fold.
+                    tracer.fold(payload.spans, notify=tracer.on_span is None)
+                payload = payload.value
+            result, evals, hits, misses = payload
+            # Fold the winning attempt's accounting into the caller's
+            # counter — the side effect a bare `spec.fn(space, ...)` call
+            # would have had.
+            space.counter.add(evals)
+            space.counter.cache_hits += hits
+            space.counter.cache_misses += misses
+    if _metrics.REGISTRY.enabled:
+        _M_SOLVES.labels(algorithm=spec.name).inc()
+        _M_SOLVE_SECONDS.labels(algorithm=spec.name).observe(
+            time.perf_counter() - started
+        )
+        if counter is not None:
+            _M_DIST_EVALS.labels(algorithm=spec.name).inc(
+                counter.evals - evals_before
+            )
     return result
 
 
@@ -453,6 +509,7 @@ def solve_many(
             fault_injector,
         )
     keys: list[BatchKey] = []
+    names: list[str] = []  # canonical registry names, aligned with keys
     tasks = []
     for spec, entry_opts in entries:
         # Batch-wide options apply only where accepted; per-entry options
@@ -494,25 +551,61 @@ def solve_many(
                     "(algorithm, seed) pair at most once"
                 )
             keys.append(key)
+            names.append(spec.name)
             tasks.append((config.k, spec.name, config.kwargs_for(spec)))
 
     # Publish the space once per batch when the fan-out crosses a process
     # boundary: every task then pickles a shared-memory handle instead of
     # the coordinate rows (no-op for sequential/thread backends and
     # out-of-core spaces, which already cross by reference).
+    tracer = _trace.current_tracer()
+    sink = None
     with shared_space(space, backend) as task_space:
-        outputs, times = backend.run(
-            [partial(_run_one, task_space, *args, cache) for args in tasks]
-        )
+        calls = [partial(_run_one, task_space, *args, cache) for args in tasks]
+        if tracer is not None:
+            if tracer.on_span is not None and not getattr(
+                backend, "crosses_process_boundary", False
+            ):
+                sink = tracer.on_span
+            calls = [
+                _trace.wrap_task(
+                    call,
+                    _trace.TaskTraceContext(
+                        run_id=tracer.run_id,
+                        name=str(key),
+                        index=i,
+                        detail=tracer.detail,
+                        args=(("algorithm", names[i]),),
+                    ),
+                    sink,
+                )
+                for i, (call, key) in enumerate(zip(calls, keys))
+            ]
+        with _trace.span("solve_many", cat="solve", runs=len(calls)):
+            outputs, times = backend.run(calls)
+    if tracer is not None:
+        unwrapped = []
+        for out in outputs:
+            if isinstance(out, TaskOutput):
+                if out.spans:
+                    tracer.fold(out.spans, notify=sink is None)
+                out = out.value
+            unwrapped.append(out)
+        outputs = unwrapped
     fault_stats = (
         backend.pop_round_stats()
         if isinstance(backend, ResilientExecutor)
         else None
     )
 
+    emit = _metrics.REGISTRY.enabled
     run_summaries: dict[BatchKey, BatchSummary] = {}
     for i, (key, out, seconds) in enumerate(zip(keys, outputs, times)):
         stats = out.result.stats
+        if emit:
+            _M_SOLVES.labels(algorithm=names[i]).inc()
+            _M_SOLVE_SECONDS.labels(algorithm=names[i]).observe(seconds)
+            _M_DIST_EVALS.labels(algorithm=names[i]).inc(out.dist_evals)
         run_summaries[key] = BatchSummary(
             runs=1,
             parallel_time=seconds,

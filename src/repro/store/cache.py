@@ -40,8 +40,16 @@ import numpy as np
 from repro.errors import InvalidParameterError
 from repro.metric.base import DistCounter, MetricSpace
 from repro.metric.precomputed import PrecomputedSpace
+from repro.obs import metrics as _metrics
 
 __all__ = ["DistanceCache"]
+
+_M_CACHE_HITS = _metrics.counter(
+    "repro_cache_hits_total", "Distance-matrix cache lookups served from cache"
+)
+_M_CACHE_MISSES = _metrics.counter(
+    "repro_cache_misses_total", "Distance-matrix cache lookups that built a matrix"
+)
 
 
 class DistanceCache:
@@ -148,8 +156,10 @@ class DistanceCache:
             if entry is not None and (fp is not None or entry[0] is space):
                 self._entries.move_to_end(key)
                 self.hits += 1
+                _M_CACHE_HITS.inc()
                 return entry[1], True
             self.misses += 1
+            _M_CACHE_MISSES.inc()
             matrix = self._build(space)
             self._entries[key] = (space if fp is None else None, matrix)
             while len(self._entries) > self.max_entries or (

@@ -80,6 +80,37 @@ class TestGates:
         assert main([a, b, "--wall-tol", "1.5"]) == FAIL
         assert "tolerance 1.5x" in capsys.readouterr().err
 
+    def test_skip_drops_one_gate(self, write, capsys):
+        # The PR-over-PR baseline diff: radius bits differ across BLAS
+        # builds, so CI skips that gate while dist_evals still bites.
+        a = write("a.json", perf_payload([cell()]))
+        b = write("b.json", perf_payload([cell(radius=2.5000001)]))
+        assert main([a, b]) == FAIL
+        capsys.readouterr()
+        assert main([a, b, "--skip", "radius"]) == PASS
+
+    def test_skip_is_repeatable(self, write):
+        a = write("a.json", perf_payload([cell()]))
+        b = write(
+            "b.json",
+            perf_payload([cell(radius=3.0, peak_rss_kb=900_000)]),
+        )
+        assert main([a, b, "--skip", "radius"]) == FAIL  # RSS still gated
+        assert main(
+            [a, b, "--skip", "radius", "--skip", "peak_rss_kb"]
+        ) == PASS
+
+    def test_skipped_gate_does_not_mask_others(self, write, capsys):
+        a = write("a.json", perf_payload([cell()]))
+        b = write("b.json", perf_payload([cell(dist_evals=1)]))
+        assert main([a, b, "--skip", "radius"]) == FAIL
+        assert "dist_evals" in capsys.readouterr().err
+
+    def test_unknown_skip_field_rejected(self, write):
+        a = write("a.json", perf_payload([cell()]))
+        with pytest.raises(SystemExit):
+            main([a, a, "--skip", "bogus"])
+
 
 class TestSchemas:
     def test_cross_schema_diff_is_a_vacuous_pass(self, write, capsys):

@@ -145,6 +145,58 @@ class TestSolveCommand:
         assert "bad option value" in capsys.readouterr().err
 
 
+class TestSolveTrace:
+    def test_trace_writes_chrome_json(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "trace.json"
+        assert main([
+            "solve", "mrg", "--k", "4", "--n", "1000", "--m", "4",
+            "--trace", str(path),
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "trace:" in captured.err and str(path) in captured.err
+        events = json.loads(path.read_text())["traceEvents"]
+        cats = {event["cat"] for event in events}
+        assert {"solve", "round", "task"} <= cats
+        assert "block" not in cats  # default detail stops at tasks
+        assert all(event["ph"] == "X" for event in events)
+
+    def test_trace_detail_block_adds_kernel_spans(self, tmp_path):
+        import json
+
+        path = tmp_path / "trace.json"
+        assert main([
+            "solve", "mrg", "--k", "4", "--n", "1000", "--m", "4",
+            "--trace", str(path), "--trace-detail", "block", "--quiet",
+        ]) == 0
+        events = json.loads(path.read_text())["traceEvents"]
+        assert any(event["cat"] == "block" for event in events)
+
+    def test_trace_rejected_with_connect(self, capsys, tmp_path):
+        assert main([
+            "solve", "mrg", "--k", "4", "--connect", "127.0.0.1:1",
+            "--trace", str(tmp_path / "t.json"), "--quiet",
+        ]) == 2
+        assert "--trace" in capsys.readouterr().err
+
+    def test_traced_solve_matches_untraced(self, capsys, tmp_path):
+        argv = ["solve", "mrg", "--k", "4", "--n", "1000", "--m", "4",
+                "--quiet"]
+        assert main(argv) == 0
+        plain = capsys.readouterr().out
+        assert main(argv + ["--trace", str(tmp_path / "t.json")]) == 0
+        traced = capsys.readouterr().out
+
+        def row(out, field):
+            return next(
+                line for line in out.splitlines() if field in line
+            )
+
+        for field in ("radius", "dist_evals"):
+            assert row(traced, field) == row(plain, field)
+
+
 class TestSolveDataFile:
     def test_solve_from_npy_file(self, capsys, tmp_path):
         import numpy as np

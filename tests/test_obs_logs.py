@@ -1,0 +1,98 @@
+"""Unit tests for structured JSON logging and correlation binding."""
+
+import io
+import json
+import logging
+
+from repro.obs import logs
+
+
+def configured(stream):
+    return logs.configure(stream=stream, logger="repro.testobs")
+
+
+class TestBind:
+    def test_context_empty_by_default(self):
+        assert logs.context() == {}
+
+    def test_bind_nests_and_restores(self):
+        with logs.bind(run_id="r1"):
+            assert logs.context() == {"run_id": "r1"}
+            with logs.bind(request_id="q7"):
+                assert logs.context() == {"run_id": "r1", "request_id": "q7"}
+            assert logs.context() == {"run_id": "r1"}
+        assert logs.context() == {}
+
+    def test_inner_bind_shadows_outer(self):
+        with logs.bind(run_id="outer"):
+            with logs.bind(run_id="inner"):
+                assert logs.context()["run_id"] == "inner"
+            assert logs.context()["run_id"] == "outer"
+
+
+class TestJsonLines:
+    def emit(self, fn):
+        stream = io.StringIO()
+        handler = configured(stream)
+        logger = logs.get_logger("testobs.unit")
+        try:
+            fn(logger)
+        finally:
+            logging.getLogger("repro.testobs").removeHandler(handler)
+        lines = [json.loads(line) for line in stream.getvalue().splitlines()]
+        assert lines, "expected at least one emitted record"
+        return lines
+
+    def test_record_is_one_json_object_per_line(self):
+        (rec,) = self.emit(lambda log: log.info("hello"))
+        assert rec["msg"] == "hello"
+        assert rec["level"] == "info"
+        assert rec["logger"] == "repro.testobs.unit"
+        assert isinstance(rec["ts"], float)
+
+    def test_bound_context_rides_every_record(self):
+        def fn(log):
+            with logs.bind(request_id="r42", run_id="abc"):
+                log.info("answered")
+
+        (rec,) = self.emit(fn)
+        assert rec["request_id"] == "r42"
+        assert rec["run_id"] == "abc"
+
+    def test_extra_fields_merge(self):
+        (rec,) = self.emit(
+            lambda log: log.info("done", extra={"fields": {"queue_ms": 1.5}})
+        )
+        assert rec["queue_ms"] == 1.5
+
+    def test_exceptions_land_under_exc(self):
+        def fn(log):
+            try:
+                raise ValueError("boom")
+            except ValueError:
+                log.warning("failed", exc_info=True)
+
+        (rec,) = self.emit(fn)
+        assert rec["level"] == "warning"
+        assert "ValueError: boom" in rec["exc"]
+
+    def test_unserializable_fields_degrade_to_str(self):
+        (rec,) = self.emit(
+            lambda log: log.info("x", extra={"fields": {"obj": object()}})
+        )
+        assert "object object" in rec["obj"]
+
+
+class TestLoggerTree:
+    def test_get_logger_prefixes_into_repro_tree(self):
+        assert logs.get_logger("serve").name == "repro.serve"
+        assert logs.get_logger("repro.serve").name == "repro.serve"
+        assert logs.get_logger().name == "repro"
+
+    def test_import_is_silent(self):
+        # The repro root carries a NullHandler, so emitting without
+        # configure() must not warn or print anywhere.
+        assert any(
+            isinstance(h, logging.NullHandler)
+            for h in logging.getLogger("repro").handlers
+        )

@@ -1,0 +1,206 @@
+"""Unit tests for the dependency-free metrics registry.
+
+The registry's contract has three legs: *disabled is free* (the default
+process-wide registry ignores writes until something enables it),
+*get-or-create identity* (a metric name maps to exactly one kind and
+label set for the life of the process), and *Prometheus text exposition*
+(the render parses under the 0.0.4 grammar, histograms included).
+"""
+
+import math
+import re
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.obs import metrics
+from repro.obs.metrics import CONTENT_TYPE, DEFAULT_BUCKETS, MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry(enabled=True)
+
+
+# A Prometheus text-format line: comment, blank, or `name{labels} value`.
+_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})?'
+    r" [^ ]+$"
+)
+_COMMENT = re.compile(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .*$")
+
+
+def assert_prometheus_text(text: str) -> dict[str, float]:
+    """Parse exposition text; returns ``{series-with-labels: value}``."""
+    samples: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("#"):
+            assert _COMMENT.match(line), f"bad comment line: {line!r}"
+            continue
+        assert _SAMPLE.match(line), f"bad sample line: {line!r}"
+        series, value = line.rsplit(" ", 1)
+        samples[series] = float(value)
+    return samples
+
+
+class TestCounter:
+    def test_inc_accumulates(self, registry):
+        c = registry.counter("t_total", "a test counter")
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_negative_inc_rejected(self, registry):
+        c = registry.counter("t_total")
+        with pytest.raises(InvalidParameterError):
+            c.inc(-1)
+
+    def test_labelled_series_are_independent(self, registry):
+        c = registry.counter("req_total", labelnames=("outcome",))
+        c.labels(outcome="ok").inc(3)
+        c.labels(outcome="err").inc()
+        assert c.value(outcome="ok") == 3
+        assert c.value(outcome="err") == 1
+        assert c.value(outcome="never-written") == 0
+
+    def test_wrong_labels_rejected(self, registry):
+        c = registry.counter("req_total", labelnames=("outcome",))
+        with pytest.raises(InvalidParameterError):
+            c.labels(result="ok")
+        with pytest.raises(InvalidParameterError):
+            c.inc()  # labelled metric needs .labels(...)
+
+
+class TestGauge:
+    def test_set_and_inc(self, registry):
+        g = registry.gauge("g")
+        g.set(4.0)
+        g.inc(0.5)
+        assert g.value() == 4.5
+        g.set(-1.0)  # gauges may go anywhere
+        assert g.value() == -1.0
+
+
+class TestHistogram:
+    def test_sum_and_count(self, registry):
+        h = registry.histogram("h_seconds", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        assert h.value() == pytest.approx(5.55)
+        assert h.counts() == 3
+
+    def test_buckets_are_cumulative_in_render(self, registry):
+        h = registry.histogram("h_seconds", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        samples = assert_prometheus_text(registry.render())
+        assert samples['h_seconds_bucket{le="0.1"}'] == 1
+        assert samples['h_seconds_bucket{le="1.0"}'] == 2
+        assert samples['h_seconds_bucket{le="+Inf"}'] == 3
+        assert samples["h_seconds_sum"] == pytest.approx(5.55)
+        assert samples["h_seconds_count"] == 3
+
+    def test_boundary_lands_in_its_bucket(self, registry):
+        # Prometheus buckets are `le` (inclusive upper bound).
+        h = registry.histogram("h", buckets=(1.0, 2.0))
+        h.observe(1.0)
+        samples = assert_prometheus_text(registry.render())
+        assert samples['h_bucket{le="1.0"}'] == 1
+
+    def test_needs_buckets(self, registry):
+        with pytest.raises(InvalidParameterError):
+            registry.histogram("h", buckets=())
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+        assert all(math.isfinite(b) for b in DEFAULT_BUCKETS)
+
+
+class TestRegistryIdentity:
+    def test_get_or_create_returns_same_object(self, registry):
+        assert registry.counter("x_total") is registry.counter("x_total")
+
+    def test_kind_conflict_rejected(self, registry):
+        registry.counter("x_total")
+        with pytest.raises(InvalidParameterError):
+            registry.gauge("x_total")
+
+    def test_label_conflict_rejected(self, registry):
+        registry.counter("x_total", labelnames=("a",))
+        with pytest.raises(InvalidParameterError):
+            registry.counter("x_total", labelnames=("b",))
+
+
+class TestDisabledIsFree:
+    def test_writes_are_ignored_while_disabled(self):
+        registry = MetricsRegistry(enabled=False)
+        c = registry.counter("x_total")
+        h = registry.histogram("h", buckets=(1.0,))
+        c.inc()
+        h.observe(0.5)
+        assert c.value() == 0
+        assert h.counts() == 0
+        registry.enable()
+        c.inc()
+        assert c.value() == 1
+
+    def test_registration_works_while_disabled(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.counter("x_total", "registered early")
+        assert "x_total" in registry.render()
+
+    def test_reset_keeps_registrations(self, registry):
+        c = registry.counter("x_total")
+        c.inc()
+        registry.reset()
+        assert c.value() == 0
+        assert "x_total" in registry.render()
+
+
+class TestExposition:
+    def test_full_render_parses(self, registry):
+        registry.counter("a_total", "with a\nnewline").inc()
+        registry.gauge("b", labelnames=("x",)).labels(x='quo"te').set(2)
+        registry.histogram("c_seconds").observe(0.2)
+        samples = assert_prometheus_text(registry.render())
+        assert samples["a_total"] == 1
+        assert samples['b{x="quo\\"te"}'] == 2
+
+    def test_content_type_pins_text_format(self):
+        assert "text/plain" in CONTENT_TYPE
+        assert "0.0.4" in CONTENT_TYPE
+
+    def test_snapshot_shape(self, registry):
+        registry.counter("a_total").inc(2)
+        registry.histogram("c_seconds").observe(0.2)
+        snap = registry.snapshot()
+        assert snap["a_total"] == {(): 2.0}
+        assert snap["c_seconds"][()]["count"] == 1
+
+
+class TestDefaultRegistryCapture:
+    def test_capture_enables_resets_and_restores(self):
+        prior = metrics.REGISTRY.enabled
+        metrics.REGISTRY.disable()
+        c = metrics.counter("t_capture_total")
+        c.inc()  # disabled: lost
+        try:
+            with metrics.capture() as reg:
+                assert reg is metrics.REGISTRY
+                assert reg.enabled
+                c.inc()
+                assert c.value() == 1
+            assert not metrics.REGISTRY.enabled
+            # Series survive the block for inspection.
+            assert c.value() == 1
+        finally:
+            metrics.REGISTRY.enabled = prior
+
+    def test_module_helpers_hit_default_registry(self):
+        c = metrics.counter("t_helper_total")
+        assert c is metrics.REGISTRY.counter("t_helper_total")
+        assert "t_helper_total" in metrics.render()
