@@ -1,7 +1,7 @@
 """Perf harness — the machine-readable trajectory of the execution engine.
 
 Times the canonical figure-style workloads on every executor backend and
-writes ``BENCH_8.json`` at the repo root: wall-clock, distance
+writes ``BENCH_9.json`` at the repo root: wall-clock, distance
 evaluations, peak RSS and per-round parallel/cpu time for each
 (workload, executor) cell.  Future PRs append ``BENCH_<n>.json`` files
 and get a trajectory to beat; ``benchmarks/baseline/BENCH_ref.json``
@@ -20,7 +20,12 @@ Workloads (sizes capped by ``REPRO_BENCH_MAX_N`` for the CI smoke):
 * ``mrg`` / ``mrhs`` — the MapReduce solvers, where the executor runs
   the *reducer tasks* of every round, each over an in-memory space
   (process backends attach its published shared-memory block) and over
-  the sharded on-disk layout (workers re-open their shard files).
+  the sharded on-disk layout (workers re-open their shard files);
+* ``eim`` — the iterative-sampling solver over the in-memory space,
+  with options that keep its loop threshold below the smoke sizes so
+  the sampling rounds (not the GON fallback) are what gets timed.
+  Since the TaskSpec refactor its rounds are module-level tasks, so the
+  process cells exercise the same shared-memory transport as ``mrg``.
 
 Shape claims asserted (the engine contract, CI-enforced):
 
@@ -53,7 +58,7 @@ from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.store import ChunkedMetricSpace, GeneratorStream, write_shards
 
-BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_8.json"
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_9.json"
 
 K = 10
 DIM = 3
@@ -62,6 +67,11 @@ N_MR = 120_000
 N_MRHS = 30_000  # HS materialises O((n/m)^2) per shard; keep shards modest
 M_MR = 16
 SHARDS = 4
+
+#: EIM options for the bench cells: pull the iterative loop's threshold
+#: below the (capped) instance so the sampling rounds run instead of the
+#: small-input GON fallback.
+EIM_OPTS = {"eps": 0.3, "threshold_coeff": 0.05}
 
 _cap = int(os.environ.get("REPRO_BENCH_MAX_N", "0"))
 if _cap:
@@ -128,11 +138,11 @@ def _run_gon(space, executor):
     return record, (batch.summary.dist_evals, per_run)
 
 
-def _run_mr(algorithm):
+def _run_mr(algorithm, **opts):
     def run(space, executor):
         t0 = time.perf_counter()
         result = repro.solve(
-            space, K, algorithm, m=M_MR, seed=0, executor=executor
+            space, K, algorithm, m=M_MR, seed=0, executor=executor, **opts
         )
         wall = time.perf_counter() - t0
         record = {
@@ -162,7 +172,7 @@ def _run_mr_obs(algorithm):
 
 def test_perf_trajectory(artifact_dir, tmp_path_factory):
     """Time every (workload, executor) cell; enforce bit-parity; write
-    ``BENCH_8.json``."""
+    ``BENCH_9.json``."""
     tmp = tmp_path_factory.mktemp("perf")
     rng = np.random.default_rng(2016)
     gon_points = rng.normal(size=(N_GON, DIM))
@@ -198,6 +208,13 @@ def test_perf_trajectory(artifact_dir, tmp_path_factory):
             _run_mr_obs("mrg"),
         ),
         ("mrg", "sharded", N_MR, lambda: ChunkedMetricSpace(mr_shards), _run_mr("mrg")),
+        (
+            "eim",
+            "in-memory",
+            N_MR,
+            lambda: EuclideanSpace(mr_points),
+            _run_mr("eim", **EIM_OPTS),
+        ),
         (
             "mrhs",
             "in-memory",
@@ -249,7 +266,7 @@ def test_perf_trajectory(artifact_dir, tmp_path_factory):
                 )
 
     payload = {
-        "bench": 8,
+        "bench": 9,
         "schema": "repro-perf-v1",
         "python": platform.python_version(),
         "numpy": np.__version__,
@@ -281,7 +298,7 @@ def test_perf_trajectory(artifact_dir, tmp_path_factory):
         format_table(
             ["workload", "executor", "n", "wall (s)", "dist evals", "peak RSS (MiB)"],
             rows,
-            title="execution-engine perf trajectory (BENCH_8)",
+            title="execution-engine perf trajectory (BENCH_9)",
         ),
     )
 

@@ -193,7 +193,7 @@ def _parse_solver_option(item: str) -> tuple[str, object]:
 
 
 def _print_solver_registry() -> None:
-    headers = ["name", "kind", "factor", "aliases", "options"]
+    headers = ["name", "kind", "factor", "backends", "aliases", "options"]
     rows = []
     for spec in list_solvers():
         rows.append(
@@ -201,6 +201,7 @@ def _print_solver_registry() -> None:
                 spec.name,
                 spec.kind,
                 "-" if spec.approx_factor is None else f"{spec.approx_factor:g}",
+                ", ".join(spec.backends),
                 ", ".join(spec.aliases) or "-",
                 ", ".join(sorted(spec.options)) or "-",
             ]

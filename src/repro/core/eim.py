@@ -41,14 +41,19 @@ distance to S, and each iteration folds only the *newly sampled* points
 into that running minimum (total work ``sum_l |R_l| * |dS_l|``, the same
 asymptotics as the paper's Round-3 count with a smaller constant).
 
-Every round's tasks honour the repo-wide **re-execution contract** (see
-:mod:`repro.mapreduce.resilient`): randomness is bound as *seeds* before
+Every round body is a **module-level function dispatched as a
+:class:`~repro.mapreduce.tasks.TaskSpec`** — the repo-wide task contract
+(see :mod:`repro.mapreduce.tasks`): randomness is bound as *seeds* before
 dispatch and turned into a generator per call, distance work is counted
 into a task-private counter reported via
-:class:`~repro.mapreduce.cluster.TaskOutput`, and the one in-place update
-(Round 3's distance min-fold) is idempotent — so a retried or
-speculatively duplicated task reproduces its first execution bit for bit
-and the round's ``dist_evals`` stay exact under any absorbed fault.
+:class:`~repro.mapreduce.tasks.TaskOutput`, and the Round-3 distance
+min-fold returns its updated block (reassembled on the driver) instead of
+mutating driver state from inside a task.  A retried or speculatively
+duplicated task therefore reproduces its first execution bit for bit, the
+round's ``dist_evals`` stay exact under any absorbed fault, and the same
+task list runs unchanged on sequential, thread and process backends —
+in-memory coordinates cross the process boundary once per job through
+the shared-memory transport, exactly like MRG/MRHS.
 """
 
 from __future__ import annotations
@@ -63,10 +68,12 @@ from repro.core.assignment import covering_radius
 from repro.core.gonzalez import gonzalez_trace
 from repro.core.result import KCenterResult
 from repro.errors import CapacityError, ConvergenceError, InvalidParameterError
-from repro.mapreduce.cluster import SimulatedCluster, TaskOutput
+from repro.mapreduce.cluster import SimulatedCluster
 from repro.mapreduce.executor import Executor
 from repro.mapreduce.partition import block_partition
+from repro.mapreduce.tasks import TaskOutput, TaskSpec
 from repro.metric.base import MetricSpace, TaskCounter
+from repro.store.shm import shared_space
 from repro.utils.rng import SeedLike, SeedStream
 from repro.utils.timing import Timer
 
@@ -145,6 +152,112 @@ class EIMParams:
         return max(0, math.ceil(self.phi * math.log(max(n, 2))) - 1)
 
 
+# ------------------------------------------------------------------------ #
+# round task bodies — module-level (the task contract: picklable on every
+# backend), all solver state bound explicitly through TaskSpec args
+# ------------------------------------------------------------------------ #
+def _task_shadow(space: MetricSpace) -> MetricSpace:
+    """A shallow clone of ``space`` with a task-private counter.
+
+    Distance work done through the shadow never touches the watched
+    counter directly — it rides back in the :class:`TaskOutput`, so a
+    re-executed (retried, speculated, duplicated) task cannot
+    double-count and the round's ``dist_evals`` stay exact on every
+    backend, process pools included.
+    """
+    shadow = copy.copy(space)
+    shadow.counter = TaskCounter()
+    return shadow
+
+
+def _sample_task(shard: np.ndarray, p_s: float, p_h: float, *, seed):
+    """Round 1 on one machine: Bernoulli-draw S and H members of ``shard``.
+
+    ``seed`` (keyword-only, bound per task by :class:`TaskSpec`) builds a
+    fresh generator per call: a stateful generator would make a retried /
+    speculatively duplicated task draw different samples on its second
+    execution.  Bit-identical to the historical generator binding, since
+    ``SeedStream.generators`` is exactly ``default_rng`` over
+    ``SeedStream.seeds``.  No distance work happens here.
+    """
+    rng = np.random.default_rng(seed)
+    draw_s = rng.random(len(shard)) < p_s
+    draw_h = rng.random(len(shard)) < p_h
+    return shard[draw_s], shard[draw_h]
+
+
+def _select_task(
+    space: MetricSpace,
+    d_h: np.ndarray,
+    pivot_pool: np.ndarray,
+    new_sample: np.ndarray,
+    rank: int,
+) -> TaskOutput:
+    """Round 2 on one machine: fold new sample into the H distances, pick
+    the pivot distance (the ``rank``-th farthest point of H from S).
+
+    ``d_h`` is the maintained H-to-S_old distances; copied before the
+    min-fold so the task is a pure function of its arguments even when
+    two attempts run concurrently against the same driver-side array.
+    """
+    shadow = _task_shadow(space)
+    d_h = np.array(d_h, copy=True)
+    if len(new_sample):
+        shadow.update_min_dists(d_h, pivot_pool, new_sample)
+    rank = min(rank, len(d_h) - 1)
+    # phi*log(n)-th farthest = descending order statistic.
+    kth = len(d_h) - 1 - rank
+    return TaskOutput(float(np.partition(d_h, kth)[kth]), shadow.counter.evals)
+
+
+def _remove_task(
+    space: MetricSpace,
+    indices: np.ndarray,
+    dists: np.ndarray,
+    new_sample: np.ndarray,
+    in_new_sample: np.ndarray,
+    pivot_dist: float,
+    has_pivot: bool,
+    legacy_removal: bool,
+) -> TaskOutput:
+    """Round 3 on one machine: min-fold the new sample into this block's
+    maintained distances, decide which points of the block survive.
+
+    Returns ``(updated_dists, keep)`` for the driver to reassemble —
+    tasks never mutate driver state in place, so the same body runs in a
+    process worker, and re-execution trivially reproduces the first
+    attempt (the min-fold against a fixed reference set is a pure
+    function of the incoming block).
+    """
+    shadow = _task_shadow(space)
+    dists = np.array(dists, copy=True)
+    if len(new_sample):
+        shadow.update_min_dists(dists, indices, new_sample)
+    if legacy_removal:
+        # Original rule: remove strictly-closer points only, and do not
+        # force sampled points out of R.
+        keep = dists >= pivot_dist if has_pivot else np.ones(len(dists), dtype=bool)
+        return TaskOutput((dists, keep), shadow.counter.evals)
+    keep = dists > pivot_dist if has_pivot else np.ones(len(dists), dtype=bool)
+    keep &= ~in_new_sample
+    return TaskOutput((dists, keep), shadow.counter.evals)
+
+
+def _final_task(
+    space: MetricSpace, candidates: np.ndarray, k: int, *, seed
+) -> TaskOutput:
+    """Clean-up round: sequential GON over the candidate set C = S u R.
+
+    ``local`` shares its parent's counter, so the clean-up runs over a
+    shadow copy with a private one — same re-execution safety as the
+    loop rounds.
+    """
+    shadow = _task_shadow(space)
+    local = shadow.local(candidates)
+    trace = gonzalez_trace(local, k, seed=seed)
+    return TaskOutput(candidates[trace.centers], shadow.counter.evals)
+
+
 def eim(
     space: MetricSpace,
     k: int,
@@ -196,7 +309,11 @@ def eim(
     iteration_sizes: list[dict[str, int]] = []
     seeds = SeedStream(seed)
 
-    with wall:
+    # Same zero-copy scope as MRG/MRHS: in-memory coordinates published
+    # once per job for process-pool rounds (repro.store.shm); every task
+    # below binds ``task_space``, which pickles as a ~100-byte handle
+    # inside the scope and is the space itself otherwise.
+    with wall, shared_space(space, cluster.executor) as task_space:
         remaining = np.arange(n, dtype=np.intp)  # R, as sorted global indices
         # d(x, S_old) for x in R, aligned with `remaining`; maintained
         # incrementally (each iteration folds only the new sample points).
@@ -222,28 +339,17 @@ def eim(
             shard_pos = [p for p in block_partition(r_size, n_machines) if len(p)]
             shards = [remaining[p] for p in shard_pos]
             shard_starts = np.cumsum([0] + [len(s) for s in shards])
-            # Each task carries its *seed*, not a live generator, and
-            # builds a fresh ``default_rng`` per call: a stateful
-            # generator would make a retried / speculatively duplicated
-            # task draw different samples on its second execution.
-            # Bit-identical to the old generator binding, since
-            # ``SeedStream.generators`` is exactly ``default_rng`` over
-            # ``SeedStream.seeds``.
             machine_seeds = seeds.seeds(len(shards))
-
-            def make_sample_task(shard: np.ndarray, task_seed):
-                def task() -> tuple[np.ndarray, np.ndarray]:
-                    rng = np.random.default_rng(task_seed)
-                    draw_s = rng.random(len(shard)) < p_s
-                    draw_h = rng.random(len(shard)) < p_h
-                    return shard[draw_s], shard[draw_h]
-
-                return task
 
             pairs = cluster.run_round(
                 f"eim.sample[{iteration}]",
                 [
-                    make_sample_task(shard, machine_seeds[i])
+                    TaskSpec(
+                        _sample_task,
+                        args=(shard, p_s, p_h),
+                        seed=machine_seeds[i],
+                        counting="none",
+                    )
                     for i, shard in enumerate(shards)
                 ],
                 task_sizes=[len(s) for s in shards],
@@ -260,28 +366,21 @@ def eim(
             if len(pivot_pool) and len(sample):
                 # H subset of R, and `remaining` is sorted, so positions are exact.
                 pool_positions = np.searchsorted(remaining, pivot_pool)
-
-                def select_task() -> TaskOutput:
-                    # Private counter + explicit TaskOutput accounting:
-                    # if the task is re-executed (retry, speculation) only
-                    # the winning attempt's count is folded into the
-                    # round, keeping dist_evals exact under faults.
-                    shadow = copy.copy(space)
-                    shadow.counter = TaskCounter()
-                    d_h = dist_to_sample[pool_positions].copy()
-                    if len(new_sample):
-                        shadow.update_min_dists(d_h, pivot_pool, new_sample)
-                    rank = min(params.pivot_rank(n), len(d_h) - 1)
-                    # phi*log(n)-th farthest = descending order statistic.
-                    kth = len(d_h) - 1 - rank
-                    return TaskOutput(
-                        float(np.partition(d_h, kth)[kth]),
-                        shadow.counter.evals,
-                    )
-
                 (pivot_dist,) = cluster.run_round(
                     f"eim.select[{iteration}]",
-                    [select_task],
+                    [
+                        TaskSpec(
+                            _select_task,
+                            args=(
+                                task_space,
+                                dist_to_sample[pool_positions],
+                                pivot_pool,
+                                new_sample,
+                                params.pivot_rank(n),
+                            ),
+                            counting="output",
+                        )
+                    ],
                     task_sizes=[len(pivot_pool) + len(sample)],
                     shuffle_elements=len(pivot_pool) + len(sample),
                 )
@@ -290,47 +389,33 @@ def eim(
             in_new_sample = np.isin(remaining, new_sample, assume_unique=False)
             has_pivot = pivot_dist > -np.inf
 
-            def make_remove_task(lo: int, hi: int):
-                def task() -> TaskOutput:
-                    # In-place min-fold on the maintained distances: a
-                    # pure minimum against a fixed reference set, hence
-                    # idempotent — re-execution (or two concurrent
-                    # attempts) writes the same values.  The private
-                    # counter keeps re-executed work out of the books.
-                    shadow = copy.copy(space)
-                    shadow.counter = TaskCounter()
-                    block = dist_to_sample[lo:hi]  # contiguous view: in-place
-                    if len(new_sample):
-                        shadow.update_min_dists(block, remaining[lo:hi], new_sample)
-                    if params.legacy_removal:
-                        # Original rule: remove strictly-closer points only,
-                        # and do not force sampled points out of R.
-                        keep = (
-                            block >= pivot_dist
-                            if has_pivot
-                            else np.ones(hi - lo, dtype=bool)
-                        )
-                        return TaskOutput(keep, shadow.counter.evals)
-                    keep = (
-                        block > pivot_dist
-                        if has_pivot
-                        else np.ones(hi - lo, dtype=bool)
-                    )
-                    keep &= ~in_new_sample[lo:hi]
-                    return TaskOutput(keep, shadow.counter.evals)
-
-                return task
-
-            keep_blocks = cluster.run_round(
+            blocks = cluster.run_round(
                 f"eim.remove[{iteration}]",
                 [
-                    make_remove_task(int(shard_starts[i]), int(shard_starts[i + 1]))
+                    TaskSpec(
+                        _remove_task,
+                        args=(
+                            task_space,
+                            shards[i],
+                            dist_to_sample[shard_starts[i] : shard_starts[i + 1]],
+                            new_sample,
+                            in_new_sample[shard_starts[i] : shard_starts[i + 1]],
+                            float(pivot_dist),
+                            has_pivot,
+                            params.legacy_removal,
+                        ),
+                        counting="output",
+                    )
                     for i in range(len(shards))
                 ],
                 task_sizes=[len(s) for s in shards],
                 shuffle_elements=len(new_sample) + len(shards),
             )
-            keep = np.concatenate(keep_blocks)
+            # block_partition yields contiguous, ordered blocks, so
+            # concatenating the per-task results reassembles both arrays
+            # in `remaining` order.
+            dist_to_sample = np.concatenate([b[0] for b in blocks])
+            keep = np.concatenate([b[1] for b in blocks])
 
             iteration_sizes.append(
                 {
@@ -358,18 +443,17 @@ def eim(
             )
         final_seed = seeds.seeds(1)[0]
 
-        def final_task() -> TaskOutput:
-            # ``local`` shares its parent's counter, so the clean-up runs
-            # over a shadow copy with a private one — same re-execution
-            # safety as the loop rounds.
-            shadow = copy.copy(space)
-            shadow.counter = TaskCounter()
-            local = shadow.local(candidates)
-            trace = gonzalez_trace(local, k, seed=final_seed)
-            return TaskOutput(candidates[trace.centers], shadow.counter.evals)
-
         (centers,) = cluster.run_round(
-            "eim.final", [final_task], task_sizes=[len(candidates)]
+            "eim.final",
+            [
+                TaskSpec(
+                    _final_task,
+                    args=(task_space, candidates, k),
+                    seed=final_seed,
+                    counting="output",
+                )
+            ],
+            task_sizes=[len(candidates)],
         )
 
     eval_timer = Timer()

@@ -34,7 +34,6 @@ sequential HS would already be infeasible and parallelism is the point.
 from __future__ import annotations
 
 import math
-from functools import partial
 
 import numpy as np
 
@@ -43,7 +42,8 @@ from repro.core.hochbaum_shmoys import MAX_POINTS, hochbaum_shmoys
 from repro.core.mrg import _bind_views_eagerly
 from repro.core.result import KCenterResult
 from repro.errors import CapacityError, InvalidParameterError
-from repro.mapreduce.cluster import SimulatedCluster, TaskOutput
+from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.tasks import TaskOutput, TaskSpec
 from repro.mapreduce.executor import Executor
 from repro.mapreduce.model import validate_cluster
 from repro.mapreduce.partition import PARTITIONERS
@@ -142,12 +142,16 @@ def mr_hochbaum_shmoys(
 
         eager = _bind_views_eagerly(task_space, cluster.executor)
 
-        def bind(shard: np.ndarray):
+        def bind(shard: np.ndarray) -> TaskSpec:
             if eager:
-                return partial(
-                    _hs_shard_task, machine_view(task_space, shard), shard, k, True
+                return TaskSpec(
+                    _hs_shard_task,
+                    args=(machine_view(task_space, shard), shard, k, True),
+                    counting="output",
                 )
-            return partial(_hs_shard_task, task_space, shard, k)
+            return TaskSpec(
+                _hs_shard_task, args=(task_space, shard, k), counting="output"
+            )
 
         results = cluster.run_round(
             "mrhs.reduce",

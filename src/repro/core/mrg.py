@@ -26,7 +26,6 @@ algorithm (reported separately as ``eval_time``).
 from __future__ import annotations
 
 import math
-from functools import partial
 from typing import Callable
 
 import numpy as np
@@ -35,7 +34,8 @@ from repro.core.assignment import covering_radius
 from repro.core.gonzalez import gonzalez_trace
 from repro.core.result import KCenterResult
 from repro.errors import CapacityError, InvalidParameterError
-from repro.mapreduce.cluster import SimulatedCluster, TaskOutput
+from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.tasks import TaskOutput, TaskSpec
 from repro.mapreduce.executor import Executor
 from repro.mapreduce.model import default_capacity, mrg_approximation_factor, validate_cluster
 from repro.mapreduce.partition import PARTITIONERS, block_partition
@@ -69,7 +69,7 @@ def _bind_views_eagerly(space: MetricSpace, executor: Executor) -> bool:
 
 
 def _gon_shard_task(
-    space: MetricSpace, shard: np.ndarray, k: int, seed, bound: bool = False
+    space: MetricSpace, shard: np.ndarray, k: int, bound: bool = False, *, seed=None
 ) -> TaskOutput:
     """One reducer: GON over a machine view of ``shard``; global center ids.
 
@@ -78,7 +78,9 @@ def _gon_shard_task(
     contiguous shard of an out-of-core space stays out-of-core — the
     round-1 partition of a sharded dataset never gathers ``(n, d)``
     anywhere, driver or worker.  ``bound=True`` means ``space`` is
-    already this machine's view (see :func:`_bind_views_eagerly`).
+    already this machine's view (see :func:`_bind_views_eagerly`);
+    ``seed`` is keyword-only so :class:`~repro.mapreduce.tasks.TaskSpec`
+    can bind it per task.
     """
     view = space if bound else machine_view(space, shard)
     try:
@@ -211,13 +213,16 @@ def mrg(
 
             eager = _bind_views_eagerly(task_space, cluster.executor)
             tasks = [
-                partial(
+                TaskSpec(
                     _gon_shard_task,
-                    machine_view(task_space, shard) if eager else task_space,
-                    shard,
-                    k,
-                    machine_seeds[i],
-                    eager,
+                    args=(
+                        machine_view(task_space, shard) if eager else task_space,
+                        shard,
+                        k,
+                        eager,
+                    ),
+                    seed=machine_seeds[i],
+                    counting="output",
                 )
                 for i, shard in enumerate(shards)
             ]
@@ -235,13 +240,16 @@ def mrg(
         (centers,) = cluster.run_round(
             "mrg.final",
             [
-                partial(
+                TaskSpec(
                     _gon_shard_task,
-                    machine_view(task_space, current) if eager else task_space,
-                    current,
-                    k,
-                    final_seed,
-                    eager,
+                    args=(
+                        machine_view(task_space, current) if eager else task_space,
+                        current,
+                        k,
+                        eager,
+                    ),
+                    seed=final_seed,
+                    counting="output",
                 )
             ],
             task_sizes=[len(current)],

@@ -10,6 +10,10 @@ methodology exactly, plus the bookkeeping the paper's analysis needs:
 * :class:`~repro.mapreduce.cluster.SimulatedCluster` — ``m`` machines of
   capacity ``c``; executes a round of reducer tasks and records a
   :class:`~repro.mapreduce.accounting.RoundStats`;
+* :mod:`~repro.mapreduce.tasks` — the task contract:
+  :class:`~repro.mapreduce.tasks.TaskSpec` (picklable callable + args +
+  per-task seed + trace naming + counter policy), with the dispatch-side
+  binding and commit-side accounting every dispatch site shares;
 * :mod:`~repro.mapreduce.partition` — the mapper-side partitioners
   (block / random / hash) with the size invariant ``|V_i| <= ceil(n/m)``;
 * :mod:`~repro.mapreduce.model` — the Karloff-et-al-style capacity
@@ -30,7 +34,8 @@ methodology exactly, plus the bookkeeping the paper's analysis needs:
 """
 
 from repro.mapreduce.accounting import BatchSummary, JobStats, RoundStats
-from repro.mapreduce.cluster import SimulatedCluster, TaskOutput
+from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.tasks import TaskOutput, TaskSpec, capture_specs
 from repro.mapreduce.executor import (
     ProcessPoolExecutorBackend,
     SequentialExecutor,
@@ -65,6 +70,8 @@ from repro.mapreduce.partition import (
 __all__ = [
     "SimulatedCluster",
     "TaskOutput",
+    "TaskSpec",
+    "capture_specs",
     "RoundStats",
     "JobStats",
     "BatchSummary",

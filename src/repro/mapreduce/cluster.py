@@ -1,8 +1,9 @@
 """The simulated MapReduce cluster.
 
 A :class:`SimulatedCluster` is ``m`` machines of capacity ``c`` elements.
-Algorithms submit *rounds*: a list of reducer tasks, each declaring its
-input size.  The cluster
+Algorithms submit *rounds*: a list of reducer tasks — each a
+:class:`~repro.mapreduce.tasks.TaskSpec` declaring its input size.  The
+cluster
 
 * enforces the capacity constraint per task (a task whose declared input
   exceeds ``c`` raises :class:`~repro.errors.CapacityError` — this is the
@@ -14,25 +15,30 @@ input size.  The cluster
 * attributes distance-evaluation deltas to the round when given a
   :class:`~repro.metric.base.DistCounter` to watch — either observed
   directly (tasks sharing the watched counter) or reported explicitly by
-  tasks returning :class:`TaskOutput`, which is how per-shard reducer
-  tasks with private counters stay exactly accounted on *every* executor
-  backend, including process pools where worker-side counter mutations
-  never reach the driver.
+  tasks returning :class:`~repro.mapreduce.tasks.TaskOutput`, which is
+  how per-shard reducer tasks with private counters stay exactly
+  accounted on *every* executor backend, including process pools where
+  worker-side counter mutations never reach the driver.
+
+The task contract itself — what a round task may be, how it is traced
+and how its accounting commits — lives in
+:mod:`repro.mapreduce.tasks`; ``run_round`` is one of its call sites
+(the facade's batch and solo dispatches are the others).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Sequence
+from typing import Sequence
 
 from repro.errors import CapacityError, InvalidParameterError, TaskFailedError
 from repro.mapreduce.accounting import JobStats, RoundStats
 from repro.mapreduce.executor import Executor, SequentialExecutor
+from repro.mapreduce.tasks import TaskOutput, TaskSpec, bind_round, commit
 from repro.metric.base import DistCounter
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
 
-__all__ = ["SimulatedCluster", "TaskOutput"]
+__all__ = ["SimulatedCluster", "TaskOutput", "TaskSpec"]
 
 _M_ROUNDS = _metrics.counter(
     "repro_rounds_total", "MapReduce rounds executed", ("round",)
@@ -48,30 +54,6 @@ _M_ROUND_TASKS = _metrics.histogram(
     ("round",),
     buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
 )
-
-
-@dataclass
-class TaskOutput:
-    """A reducer task's return value plus its worker-side accounting.
-
-    Tasks built over per-shard spaces (see
-    :func:`repro.store.machine_view`) count their distance evaluations
-    into a *private* counter — the space may live in another process, so
-    in-place mutation of a shared counter cannot work in general.
-    Wrapping the result in a ``TaskOutput`` tells
-    :meth:`SimulatedCluster.run_round` to fold ``dist_evals`` back into
-    the watched counter on the driver; callers receive the unwrapped
-    ``value``.  Round accounting is then identical on sequential, thread
-    and process backends.
-
-    ``spans`` rides worker-side trace spans back over the same route
-    (see :mod:`repro.obs.trace`); it is ``None`` for untraced runs so
-    existing pickles and equality semantics are unchanged.
-    """
-
-    value: Any
-    dist_evals: int = 0
-    spans: list | None = None
 
 
 class SimulatedCluster:
@@ -119,10 +101,10 @@ class SimulatedCluster:
     def run_round(
         self,
         label: str,
-        tasks: Sequence[Callable[[], Any]],
+        tasks: Sequence[TaskSpec],
         task_sizes: Sequence[int],
         shuffle_elements: int | None = None,
-    ) -> list[Any]:
+    ) -> list:
         """Execute one MapReduce round; record stats; return task results.
 
         Parameters
@@ -130,7 +112,9 @@ class SimulatedCluster:
         label:
             Human-readable round name ("mrg.round1", "eim.sample", ...).
         tasks:
-            Zero-argument reducer callables, one per participating machine.
+            One :class:`~repro.mapreduce.tasks.TaskSpec` per participating
+            machine.  Bare callables are rejected — the contract keeps
+            every round task picklable on every backend.
         task_sizes:
             Declared input sizes (elements) per task; checked against
             capacity *before* any task runs, so a capacity violation never
@@ -139,10 +123,11 @@ class SimulatedCluster:
             Elements moved by the mapper into this round; defaults to the
             sum of task sizes.
 
-        Tasks may return a bare value or a :class:`TaskOutput`; the
-        latter's ``dist_evals`` is folded into the watched counter before
-        the round's delta is taken, and callers always receive the
-        unwrapped values.
+        Tasks may return a bare value or a
+        :class:`~repro.mapreduce.tasks.TaskOutput`; the latter's
+        ``dist_evals`` is folded into the watched counter before the
+        round's delta is taken, and callers always receive the unwrapped
+        values.
         """
         if len(tasks) != len(task_sizes):
             raise InvalidParameterError(
@@ -155,56 +140,26 @@ class SimulatedCluster:
         for size in task_sizes:
             self.check_fits(int(size), what=f"round {label!r} task input")
 
-        tracer = _trace.current_tracer()
-        sink = None
-        if tracer is not None:
-            # Live sinks are closures and cannot cross a pickle boundary;
-            # process workers fold their spans back at commit time instead.
-            if tracer.on_span is not None and not getattr(
-                self.executor, "crosses_process_boundary", False
-            ):
-                sink = tracer.on_span
-            tasks = [
-                _trace.wrap_task(
-                    task,
-                    _trace.TaskTraceContext(
-                        run_id=tracer.run_id,
-                        name=f"{label}[{t}]",
-                        index=t,
-                        detail=tracer.detail,
-                        args=(("round", label),),
-                    ),
-                    sink,
-                )
-                for t, task in enumerate(tasks)
-            ]
+        specs = list(tasks)
+        calls, sink = bind_round(label, specs, executor=self.executor)
 
+        tracer = _trace.current_tracer()
         evals_before = self.dist_counter.evals if self.dist_counter else 0
         round_span = (
-            tracer.span(label, cat="round", tasks=len(tasks))
+            tracer.span(label, cat="round", tasks=len(calls))
             if tracer is not None
             else _trace.NULL_SPAN
         )
         try:
             with round_span:
-                results, times = self.executor.run(tasks)
+                results, times = self.executor.run(calls)
         except TaskFailedError as exc:
             # A task exhausted its fault-tolerance budget: stamp the round
             # so the error names the unit of work, not just an index.
             if exc.label is None:
                 exc.label = label
             raise
-        results = list(results)
-        for t, result in enumerate(results):
-            if isinstance(result, TaskOutput):
-                if self.dist_counter is not None:
-                    self.dist_counter.add(result.dist_evals)
-                if tracer is not None and result.spans:
-                    # Commit point: only winning attempts reach this loop,
-                    # so exactly one task span per task is ever folded.
-                    # notify=False when a live sink already saw them.
-                    tracer.fold(result.spans, notify=sink is None)
-                results[t] = result.value
+        results = commit(results, specs, counter=self.dist_counter, sink=sink)
         evals_after = self.dist_counter.evals if self.dist_counter else 0
 
         round_stats = RoundStats(
@@ -233,7 +188,7 @@ class SimulatedCluster:
             series = label.partition("[")[0]
             _M_ROUNDS.labels(round=series).inc()
             _M_ROUND_PARALLEL.labels(round=series).observe(round_stats.parallel_time)
-            _M_ROUND_TASKS.labels(round=series).observe(len(tasks))
+            _M_ROUND_TASKS.labels(round=series).observe(len(calls))
         return results
 
     def reset_stats(self) -> None:

@@ -9,15 +9,18 @@ interpreter contention.
 
 :class:`ProcessPoolExecutorBackend` runs tasks in worker processes for real
 multicore execution.  Tasks must then be picklable top-level callables —
-which the MapReduce solvers' reducer tasks now are: each is a ``partial``
-over a module-level function whose space argument re-opens its backing
-(memmap, shard directory, generator) or re-attaches its published
-shared-memory block (see :mod:`repro.store.shm`) in the worker, and whose
-evaluation counts return to the driver in a
-:class:`~repro.mapreduce.cluster.TaskOutput`.  The per-task times it
-reports include IPC overhead, so it is *not* used for the
-paper-reproduction benches — it exists for downstream users with many cores
-and large shards, where the BLAS-bound kernels dominate pickling costs.
+which every solver's round tasks are by construction: each is a
+:class:`~repro.mapreduce.tasks.TaskSpec` over a module-level function
+whose space argument re-opens its backing (memmap, shard directory,
+generator) or re-attaches its published shared-memory block (see
+:mod:`repro.store.shm`) in the worker, and whose evaluation counts
+return to the driver in a :class:`~repro.mapreduce.tasks.TaskOutput`.
+The per-task times it reports include IPC overhead, so the
+paper-reproduction *figures* stay on the sequential methodology, while
+``benchmarks/bench_perf.py`` carries explicit process-backend cells so
+that overhead is measured — the backend wins for downstream users with
+many cores and large shards, where the BLAS-bound kernels dominate
+pickling costs.
 
 :class:`ThreadPoolExecutorBackend` runs tasks in a thread pool: shared
 memory, no pickling, no process spawn.  CPython's GIL serialises the pure

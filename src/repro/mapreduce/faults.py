@@ -30,7 +30,7 @@ Fault kinds
 ``drop``
     The task runs to completion, then the attempt raises — the work was
     done but the result was lost in transit.  Exercises that a discarded
-    result's accounting (its :class:`~repro.mapreduce.cluster.TaskOutput`
+    result's accounting (its :class:`~repro.mapreduce.tasks.TaskOutput`
     evaluation count) never leaks into the round's books.
 ``duplicate``
     The driver launches a second, concurrent copy of the task at

@@ -27,7 +27,7 @@ hand each machine a *space* directly — e.g. one
 :class:`~repro.store.sharded.ShardedStream` (``repro.store.machine_view``
 builds such views).  The default ``size_of`` already accounts them
 correctly (`len(space)` is its point count), and a ``reduce`` that
-returns :class:`~repro.mapreduce.cluster.TaskOutput` gets its
+returns :class:`~repro.mapreduce.tasks.TaskOutput` gets its
 distance-evaluation count folded into the cluster's watched counter on
 any executor backend — ``combine`` always sees the unwrapped values::
 
@@ -51,9 +51,22 @@ import numpy as np
 
 from repro.errors import InvalidParameterError
 from repro.mapreduce.cluster import SimulatedCluster
+from repro.mapreduce.tasks import TaskSpec
 from repro.utils.rng import SeedLike, SeedStream
 
 __all__ = ["MapReduceRound", "MapReduceJob"]
+
+
+def _apply_reduce(reduce_fn: "ReduceFn", payload: Any, rng: np.random.Generator) -> Any:
+    """One reducer call, as a module-level task body.
+
+    The round's ``reduce`` function and its payload cross the
+    ``run_round`` boundary as :class:`~repro.mapreduce.tasks.TaskSpec`
+    arguments — so a declarative job whose ``reduce``/payloads pickle
+    runs on the process backend too, instead of being silently
+    thread-bound by a driver-side closure.
+    """
+    return reduce_fn(payload, rng)
 
 #: partition(state, m, rng) -> list of per-machine payloads
 PartitionFn = Callable[[Any, int, np.random.Generator], Sequence[Any]]
@@ -116,7 +129,7 @@ class MapReduceJob:
                     f"for {cluster.m} machines"
                 )
             tasks = [
-                (lambda p=payload, r=machine_rngs[i]: rnd.reduce(p, r))
+                TaskSpec(_apply_reduce, args=(rnd.reduce, payload, machine_rngs[i]))
                 for i, payload in enumerate(payloads)
             ]
             sizes = [rnd.size_of(p) for p in payloads]

@@ -12,7 +12,7 @@ batch it runs:
   gets a concurrent speculative copy; the first attempt to finish wins
   and the loser's result is discarded — results are **deduplicated by
   task index**, so exactly one result (and exactly one
-  :class:`~repro.mapreduce.cluster.TaskOutput` with its evaluation
+  :class:`~repro.mapreduce.tasks.TaskOutput` with its evaluation
   count) survives per task, keeping round accounting exact;
 * a task that exhausts its budget raises a structured
   :class:`~repro.errors.TaskFailedError` in bounded time — never a hang,

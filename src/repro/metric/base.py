@@ -117,15 +117,18 @@ class TaskCounter(DistCounter):
     A reducer task's machine view (see :func:`repro.store.machine_view`)
     is only ever touched by the one task that owns it; its total travels
     back to the driver explicitly
-    (:class:`~repro.mapreduce.cluster.TaskOutput`) and is folded into
+    (:class:`~repro.mapreduce.tasks.TaskOutput`) and is folded into
     the shared counter there — **one** lock acquisition per task,
     instead of one per kernel block.  Dropping the per-block lock is
     safe precisely because of that ownership contract: nothing else can
-    observe the counter while the task runs.
+    observe the counter while the task runs.  Every MapReduce solver's
+    round tasks work this way (EIM's shadow-space tasks included, since
+    the :class:`~repro.mapreduce.tasks.TaskSpec` refactor hoisted its
+    closures to task-private bodies).
 
     Do *not* use a TaskCounter anywhere several threads can reach it.
-    Tasks evaluating distances against one shared space (EIM's closure
-    rounds, hand-rolled task lists) need the locked parent class to keep
+    Tasks evaluating distances against one genuinely shared space need
+    the locked parent class to keep
     totals exact — and so does a ``solve_many`` run's private counter
     (``_run_one`` deliberately creates a locked ``DistCounter``): a
     per-entry *thread* executor makes that run's own reducer tasks hit

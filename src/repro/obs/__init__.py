@@ -8,7 +8,7 @@ rule — **zero cost when disabled, bit-parity-neutral when enabled**:
   monotonic timestamps.  Spans cross process boundaries by stamping a
   picklable :class:`~repro.obs.trace.TaskTraceContext` into the task
   partials and folding the worker-side spans back through
-  :class:`~repro.mapreduce.cluster.TaskOutput`; a finished trace exports
+  :class:`~repro.mapreduce.tasks.TaskOutput`; a finished trace exports
   as Chrome trace-event JSON (``chrome://tracing`` / Perfetto).
 * :mod:`repro.obs.metrics` — a registry of Counters / Gauges /
   Histograms with Prometheus text-format exposition.  The process-wide

@@ -19,7 +19,7 @@ The span tree is ``solve`` -> ``round`` -> ``task`` -> ``block``:
   dispatch site wraps each task via :func:`wrap_task` with a picklable
   :class:`TaskTraceContext`; inside the worker, :func:`run_traced_task`
   activates a fresh worker-local tracer, runs the task under its task
-  span, and returns a :class:`~repro.mapreduce.cluster.TaskOutput`
+  span, and returns a :class:`~repro.mapreduce.tasks.TaskOutput`
   carrying the collected spans.  The dispatch site folds those spans
   back into the driver tracer when it unwraps the result — exactly the
   route the worker-side ``dist_evals`` accounting already takes.
@@ -310,7 +310,7 @@ def run_traced_task(
     Module-level and driven by a picklable context, so
     ``partial(run_traced_task, task, ctx)`` crosses process boundaries
     whenever ``task`` does.  The return value is always a
-    :class:`~repro.mapreduce.cluster.TaskOutput` whose ``spans`` carry
+    :class:`~repro.mapreduce.tasks.TaskOutput` whose ``spans`` carry
     everything recorded during the attempt (the task span itself plus
     any nested block spans); a task that already returned a
     ``TaskOutput`` keeps its value and ``dist_evals`` and gains the
@@ -318,7 +318,7 @@ def run_traced_task(
     when it commits the result — discarded (losing) attempts are never
     folded.
     """
-    from repro.mapreduce.cluster import TaskOutput  # lazy: avoid cycle
+    from repro.mapreduce.tasks import TaskOutput  # lazy: avoid cycle
 
     tracer = Tracer(run_id=ctx.run_id, detail=ctx.detail, on_span=sink)
     token = _ACTIVE.set(tracer)

@@ -39,15 +39,14 @@ from __future__ import annotations
 
 import copy
 import time
-from functools import partial
 from typing import Any, Iterable, Mapping, NamedTuple, Sequence, Union
 
 import repro.solvers.catalog  # noqa: F401  (side effect: populate REGISTRY)
 from repro.core.result import KCenterResult
 from repro.errors import InvalidParameterError
 from repro.mapreduce.accounting import BatchSummary
-from repro.mapreduce.cluster import TaskOutput
 from repro.mapreduce.executor import Executor, SequentialExecutor
+from repro.mapreduce.tasks import TaskSpec, bind_round, commit
 from repro.mapreduce.faults import FaultInjector
 from repro.mapreduce.resilient import FaultPolicy, ResilientExecutor
 from repro.metric.base import DistCounter, MetricSpace
@@ -223,16 +222,6 @@ def solve(
     )
     kwargs = config.kwargs_for(spec)
 
-    def solo_task() -> tuple[KCenterResult, int, int, int]:
-        # Private counter per attempt: a retried run must not leave the
-        # failed attempt's evaluations in the caller's books.
-        shadow = copy.copy(space)
-        shadow.counter = DistCounter()
-        result = spec.fn(shadow, config.k, **kwargs)
-        counter = shadow.counter
-        return result, counter.evals, counter.cache_hits, counter.cache_misses
-
-    tracer = _trace.current_tracer()
     counter = getattr(space, "counter", None)
     evals_before = counter.evals if counter is not None else 0
     started = time.perf_counter()
@@ -240,26 +229,23 @@ def solve(
         if solo_resilient is None:
             result = spec.fn(space, config.k, **kwargs)
         else:
-            task = solo_task
-            if tracer is not None:
-                task = _trace.wrap_task(
-                    solo_task,
-                    _trace.TaskTraceContext(
-                        run_id=tracer.run_id,
-                        name=f"{spec.name}.solo",
-                        index=0,
-                        detail=tracer.detail,
-                        args=(("algorithm", spec.name),),
-                    ),
-                    tracer.on_span,  # solo runs inline: live sinks are safe
-                )
-            (payload,), _ = solo_resilient.run([task])
-            if isinstance(payload, TaskOutput):
-                if tracer is not None and payload.spans:
-                    # Commit point: only the winning attempt's payload
-                    # survives the resilient dedup, so its spans alone fold.
-                    tracer.fold(payload.spans, notify=tracer.on_span is None)
-                payload = payload.value
+            # The whole run is one task on the shared contract:
+            # `_run_one` gives each attempt a shadow space with a private
+            # counter, so a retried run leaves no failed-attempt
+            # evaluations in the caller's books.
+            solo = TaskSpec(
+                _run_one,
+                args=(space, config.k, spec.name, kwargs),
+                name=f"{spec.name}.solo",
+                trace_args=(("algorithm", spec.name),),
+            )
+            calls, sink = bind_round(
+                f"{spec.name}.solo", [solo], executor=solo_resilient
+            )
+            (payload,), _ = solo_resilient.run(calls)
+            # Commit point: only the winning attempt's payload survives
+            # the resilient dedup, so its accounting alone folds.
+            (payload,) = commit([payload], [solo], sink=sink)
             result, evals, hits, misses = payload
             # Fold the winning attempt's accounting into the caller's
             # counter — the side effect a bare `spec.fn(space, ...)` call
@@ -312,7 +298,7 @@ class _RunOutput(NamedTuple):
     The counter a run evaluates distances into lives wherever the task
     ran — possibly a worker process — so its totals travel back in the
     task's return value, exactly like the reducer tasks'
-    :class:`~repro.mapreduce.cluster.TaskOutput`.
+    :class:`~repro.mapreduce.tasks.TaskOutput`.
     """
 
     result: KCenterResult
@@ -558,40 +544,20 @@ def solve_many(
     # boundary: every task then pickles a shared-memory handle instead of
     # the coordinate rows (no-op for sequential/thread backends and
     # out-of-core spaces, which already cross by reference).
-    tracer = _trace.current_tracer()
-    sink = None
     with shared_space(space, backend) as task_space:
-        calls = [partial(_run_one, task_space, *args, cache) for args in tasks]
-        if tracer is not None:
-            if tracer.on_span is not None and not getattr(
-                backend, "crosses_process_boundary", False
-            ):
-                sink = tracer.on_span
-            calls = [
-                _trace.wrap_task(
-                    call,
-                    _trace.TaskTraceContext(
-                        run_id=tracer.run_id,
-                        name=str(key),
-                        index=i,
-                        detail=tracer.detail,
-                        args=(("algorithm", names[i]),),
-                    ),
-                    sink,
-                )
-                for i, (call, key) in enumerate(zip(calls, keys))
-            ]
+        specs = [
+            TaskSpec(
+                _run_one,
+                args=(task_space, *args, cache),
+                name=str(key),
+                trace_args=(("algorithm", names[i]),),
+            )
+            for i, (args, key) in enumerate(zip(tasks, keys))
+        ]
+        calls, sink = bind_round("solve_many", specs, executor=backend)
         with _trace.span("solve_many", cat="solve", runs=len(calls)):
             outputs, times = backend.run(calls)
-    if tracer is not None:
-        unwrapped = []
-        for out in outputs:
-            if isinstance(out, TaskOutput):
-                if out.spans:
-                    tracer.fold(out.spans, notify=sink is None)
-                out = out.value
-            unwrapped.append(out)
-        outputs = unwrapped
+    outputs = commit(outputs, specs, sink=sink)
     fault_stats = (
         backend.pop_round_stats()
         if isinstance(backend, ResilientExecutor)

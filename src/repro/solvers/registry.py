@@ -103,6 +103,20 @@ class SolverSpec:
         return self.name.upper()
 
     @property
+    def backends(self) -> tuple[str, ...]:
+        """Executor backends the solver runs on, bit-identically.
+
+        Every registered solver is process-capable under the task
+        contract (:mod:`repro.mapreduce.tasks`): MapReduce solvers fan
+        their rounds out as picklable :class:`TaskSpec`s, and
+        sequential/exact solvers dispatch as one whole-run task through
+        the same path (``solve_many`` fan-out and the resilient solo
+        mode).  Derived, not stored, so a solver cannot claim a backend
+        its dispatch layer does not deliver.
+        """
+        return ("sequential", "thread", "process")
+
+    @property
     def all_names(self) -> tuple[str, ...]:
         return (self.name, *self.aliases)
 

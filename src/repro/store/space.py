@@ -132,7 +132,7 @@ class ChunkedMetricSpace(MetricSpace):
         row range works out-of-core end to end.  The view has its own
         chunk caches and — unlike ``local`` — its *own* counter by
         default (reducer tasks report their evaluation counts back
-        explicitly; see :class:`repro.mapreduce.cluster.TaskOutput`).
+        explicitly; see :class:`repro.mapreduce.tasks.TaskOutput`).
         """
         return ChunkedMetricSpace(
             SliceStream(self.stream, start, stop),

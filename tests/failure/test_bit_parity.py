@@ -100,11 +100,16 @@ class TestBitParity:
 
     @pytest.mark.parametrize(
         "algo,backend",
-        # eim is thread-only here: its round tasks close over live local
-        # state and have never pickled (process-backed eim runs arrive
-        # via solve_many's whole-solve fan-out, covered below).
-        [(a, "thread") for a in CASES if "executor" in get_solver(a).shared]
-        + [("mrg", "process"), ("mrhs", "process")],
+        # Every MapReduce solver runs the full chaos matrix on both pool
+        # backends: since the TaskSpec refactor, eim's rounds are
+        # module-level tasks and pickle like mrg/mrhs's, so process-pool
+        # fan-out with fault injection is covered for all three.
+        [
+            (a, backend)
+            for a in sorted(CASES)
+            if "executor" in get_solver(a).shared
+            for backend in ("thread", "process")
+        ],
     )
     def test_mapreduce_solvers_on_pool_backends(self, spaces, algo, backend):
         n, k, opts = CASES[algo]

@@ -60,6 +60,10 @@ class TestAlgorithmsTable:
         assert documented_shared == set(spec.shared), (
             f"{name}: shared-knob column {documented_shared} != {set(spec.shared)}"
         )
+        documented_backends = set(_CODE.findall(cells[7]))
+        assert documented_backends == set(spec.backends), (
+            f"{name}: backends column {documented_backends} != {set(spec.backends)}"
+        )
 
     def test_table_is_generated_from_the_same_source_as_the_cli(self, capsys):
         # The CLI's `solve list` and the doc table both derive from the
